@@ -1,0 +1,20 @@
+"""[F1] Figure 1: call-tree fragmentation and checkpoint distribution.
+
+Regenerates the paper's worked example: the 17-task tree on processors
+A-D, the failure of B, the three fragments, the entry[B] checkpoint
+tables, and the recovery commands (respawn B1, B2, B3, B7)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import figure1
+from repro.workloads.figure1 import EXPECTED_CHECKPOINTS, EXPECTED_FRAGMENTS
+
+
+def test_fig1_fragmentation(once):
+    report = once(figure1)
+    emit("Figure 1 (fragmentation + checkpoints)", report.text)
+    assert report.ok
+    assert set(report.data["fragments"]) == set(EXPECTED_FRAGMENTS)
+    assert report.data["checkpoints"] == EXPECTED_CHECKPOINTS
+    assert sorted(report.data["reissued"]) == ["B1", "B2", "B3", "B7"]

@@ -1,0 +1,18 @@
+"""[F2] Figure 2: grandparent pointers.
+
+The resilient structure's only per-task overhead is the grandparent node
+id ("which may be just an integer", §4.2).  Checks the two pointers the
+figure draws: B3 -> A's node, D4 -> C's node."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import figure2
+
+
+def test_fig2_grandparent_pointers(once):
+    report = once(figure2)
+    emit("Figure 2 (grandparent pointers)", report.text)
+    assert report.ok
+    assert report.data["pointers"]["B3"] == "A"
+    assert report.data["pointers"]["D4"] == "C"

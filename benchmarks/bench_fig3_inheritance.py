@@ -1,0 +1,19 @@
+"""[F3] Figure 3: twin B2' inherits the orphan D4.
+
+Splice recovery on the Figure-1 scenario: D4's completed result is
+rerouted to grandparent C1's node and relayed into the twin B2', while
+A2's stranded fragment is recomputed (the B5 story)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import figure3
+
+
+def test_fig3_twin_inheritance(once):
+    report = once(figure3)
+    emit("Figure 3 (splice inheritance)", report.text)
+    assert report.ok
+    assert "B2" in report.data["twins"]
+    assert "D4" in report.data["salvaged"]
+    assert report.data["result"].verified is True

@@ -1,0 +1,25 @@
+"""[F6/F7] Figures 6-7: residue-freedom across the spawn state machine.
+
+Kills P's processor inside every state window a-g under both recovery
+policies; each run must complete with the oracle answer (no residue)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import figure6
+from repro.analysis.residue import STATES
+
+
+def test_fig6_residue_sweep(once):
+    report = once(figure6)
+    emit("Figures 6-7 (spawn-state residue sweep)", report.text)
+    assert report.ok
+    outcomes = report.data["outcomes"]
+    assert {o.state for o in outcomes} == set(STATES)
+    assert all(o.residue_free for o in outcomes)
+    # the paper's d/e states: rollback aborts the lingering child C while
+    # splice salvages it
+    rollback_de = [o for o in outcomes if o.policy == "rollback" and o.state in "de"]
+    splice_de = [o for o in outcomes if o.policy == "splice" and o.state in "de"]
+    assert all(o.aborted > 0 for o in rollback_de)
+    assert all(o.salvaged > 0 for o in splice_de)

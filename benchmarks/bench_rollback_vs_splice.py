@@ -1,0 +1,91 @@
+"""[C2] §6 claim: "if a fault happens at a later stage of the evaluation,
+the rollback recovery may be costly"; splice salvages partial results.
+
+Two series:
+
+1. fault-time sweep on a balanced tree (both policies recover, slowdown
+   grows with fault time for rollback);
+2. the orphan-dominant regime (slow detector, long leaves) where splice's
+   salvage halves the wasted work and beats rollback's makespan."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import fault_time_sweep
+from repro.analysis.report import render_fault_sweep
+from repro.config import CostModel, SimConfig
+from repro.core import RollbackRecovery, SpliceRecovery
+from repro.sim import FaultSchedule, TreeWorkload
+from repro.sim.machine import run_simulation
+from repro.util.tables import format_table
+from repro.workloads.trees import balanced_tree
+
+CONFIG = SimConfig(n_processors=4, seed=0)
+
+
+def _sweep():
+    return fault_time_sweep(
+        lambda: TreeWorkload(balanced_tree(4, 2, 60), "balanced-d4"),
+        CONFIG,
+        {"rollback": RollbackRecovery, "splice": SpliceRecovery},
+        fractions=(0.1, 0.3, 0.5, 0.7, 0.9),
+    )
+
+
+def test_fault_time_sweep(once):
+    points = once(_sweep)
+    emit("C2a: recovery cost vs fault time", render_fault_sweep(points))
+    assert all(p.completed and p.correct for p in points)
+    rollback = [p for p in points if p.policy == "rollback"]
+    splice = [p for p in points if p.policy == "splice"]
+    # late faults slow rollback more than early ones (the §6 claim)
+    assert max(p.slowdown for p in rollback) > min(p.slowdown for p in rollback)
+    # splice salvages on mid/late faults
+    assert any(p.salvaged_results > 0 for p in splice)
+
+
+def _orphan_regime():
+    spec = balanced_tree(2, 4, 150)
+    cost = CostModel(detector_delay=400.0, detection_timeout=20.0)
+    config = SimConfig(n_processors=4, seed=0, cost=cost)
+
+    def go(policy_cls, faults=FaultSchedule.none()):
+        return run_simulation(
+            TreeWorkload(spec, "two-level"), config, policy=policy_cls(),
+            faults=faults, collect_trace=False,
+        )
+
+    base = go(RollbackRecovery)
+    rows = []
+    results = {}
+    for frac in (0.3, 0.5, 0.7):
+        fault = FaultSchedule.single(frac * base.makespan, 1)
+        r_roll = go(RollbackRecovery, fault)
+        r_splice = go(SpliceRecovery, fault)
+        results[frac] = (r_roll, r_splice)
+        rows.append(
+            [
+                f"{frac:.0%}",
+                r_roll.metrics.steps_wasted,
+                r_splice.metrics.steps_wasted,
+                round(r_roll.makespan, 0),
+                round(r_splice.makespan, 0),
+                r_splice.metrics.results_salvaged,
+            ]
+        )
+    table = format_table(
+        ["fault@", "rollback wasted", "splice wasted", "rollback mk", "splice mk", "salvaged"],
+        rows,
+    )
+    return table, results
+
+
+def test_orphan_dominant_regime(once):
+    table, results = once(_orphan_regime)
+    emit("C2b: orphan-dominant regime (slow detector, long leaves)", table)
+    for frac, (r_roll, r_splice) in results.items():
+        assert r_roll.verified is True and r_splice.verified is True
+        if frac >= 0.5:
+            assert r_splice.metrics.steps_wasted < r_roll.metrics.steps_wasted
+            assert r_splice.makespan <= r_roll.makespan
+            assert r_splice.metrics.results_salvaged > 0

@@ -1,0 +1,30 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper artifact (figure or claim): it runs
+the simulations under ``benchmark`` for timing, prints the table/series
+the artifact reports (visible with ``pytest benchmarks/ -s`` and in the
+captured output block on failure), and asserts the *shape* the paper
+predicts (who wins, directionality) so regressions fail loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled artifact block."""
+    print()
+    print(f"────── {title} ──────")
+    print(body)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once per round (sim runs are
+    deterministic; repetition only measures the simulator's own speed)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=3, iterations=1)
+
+    return run

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A small study: recovery cost vs fault time across policies.
+
+Sweeps the fault time over the program's lifetime and prints the series
+behind the paper's §6 claim — rollback grows costly for late faults,
+splice flattens the curve by salvaging, replication pays up front.
+
+    python examples/fault_sweep_study.py
+"""
+
+from repro.analysis.experiments import fault_time_sweep, overhead_sweep
+from repro.analysis.report import render_fault_sweep, render_overhead
+from repro.config import SimConfig
+from repro.core import (
+    NoFaultTolerance,
+    ReplicatedExecution,
+    RollbackRecovery,
+    SpliceRecovery,
+)
+from repro.sim import TreeWorkload
+from repro.workloads.trees import balanced_tree
+
+
+def main() -> None:
+    config = SimConfig(n_processors=4, seed=0)
+
+    def workload():
+        return TreeWorkload(balanced_tree(4, 2, 60), "balanced-d4")
+
+    print(
+        render_overhead(
+            overhead_sweep(
+                {"balanced-d4": workload},
+                {
+                    "none": NoFaultTolerance,
+                    "rollback": RollbackRecovery,
+                    "splice": SpliceRecovery,
+                    "replicated-k3": lambda: ReplicatedExecution(k=3),
+                },
+                config,
+            ),
+            title="Fault-free overhead (paper §6: functional checkpointing is cheap)",
+        )
+    )
+    print()
+    print(
+        render_fault_sweep(
+            fault_time_sweep(
+                workload,
+                config,
+                {"rollback": RollbackRecovery, "splice": SpliceRecovery},
+                fractions=(0.1, 0.3, 0.5, 0.7, 0.9),
+            ),
+            title="Recovery cost vs fault time (paper §6: late faults hurt rollback)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

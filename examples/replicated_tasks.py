@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Hardware-redundancy emulation by task replication (paper §5.3).
+
+Every task packet is replicated k ways onto distinct processors; parents
+accept the first majority of identical answers.  A processor failure is
+*masked* — no rollback, no twins, no recovery latency — at the price of
+k-fold work and k²-ish result messages.
+
+    python examples/replicated_tasks.py
+"""
+
+from repro import (
+    FaultSchedule,
+    InterpWorkload,
+    ReplicatedExecution,
+    SimConfig,
+    run_simulation,
+)
+from repro.lang.programs import get_program
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    config = SimConfig(n_processors=5, seed=3)
+
+    rows = []
+    for k in (1, 3, 5):
+        fault_free = run_simulation(
+            InterpWorkload(get_program("fib", 8), name="fib(8)"),
+            config,
+            policy=ReplicatedExecution(k=k),
+            collect_trace=False,
+        )
+        faulted = run_simulation(
+            InterpWorkload(get_program("fib", 8), name="fib(8)"),
+            config,
+            policy=ReplicatedExecution(k=k),
+            faults=FaultSchedule.single(300.0, 1),
+            collect_trace=False,
+        )
+        masked = faulted.completed and faulted.verified is True
+        if k == 1:
+            masked_str = "no (stalls)" if not faulted.completed else "yes"
+        else:
+            masked_str = "yes" if masked else "NO"
+        rows.append(
+            [
+                k,
+                round(fault_free.makespan, 0),
+                fault_free.metrics.tasks_accepted,
+                fault_free.metrics.messages_total,
+                masked_str,
+                round(faulted.makespan, 0) if faulted.completed else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["k", "makespan", "task executions", "messages", "fault masked?", "makespan w/ fault"],
+            rows,
+            title="Replicated-task redundancy (fib(8), fault at t=300 on node 1)",
+        )
+    )
+    print(
+        "\nk=1 is ordinary execution: the fault stalls the program."
+        "\nk=3 matches Misunas' TMR: any single failure is outvoted;"
+        "\nthe k-fold task count is the §5.3 price of zero-latency masking."
+    )
+
+
+if __name__ == "__main__":
+    main()

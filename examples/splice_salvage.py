@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Splice recovery salvaging intermediate results (paper §4).
+
+A two-level tree with long leaves runs on four processors.  Processor 1
+(hosting inner tasks) dies mid-run.  Under rollback, every orphaned leaf
+result is discarded and recomputed; under splice, orphans forward their
+results to their grandparent nodes, which relay them to the reissued
+step-parent twins — the leaves never run twice.
+
+    python examples/splice_salvage.py
+"""
+
+from repro.config import CostModel, SimConfig
+from repro.core import RollbackRecovery, SpliceRecovery
+from repro.sim import FaultSchedule, TreeWorkload
+from repro.sim.machine import run_simulation
+from repro.util.tables import format_table
+from repro.workloads.trees import balanced_tree
+
+
+def main() -> None:
+    # 1 root + 4 inner tasks + 16 leaves of 150 steps each.  The detector
+    # is slow, so orphan result reroutes — not the failure notice — drive
+    # the recovery (the reactive twin path of §4.2).
+    spec = balanced_tree(2, 4, 150)
+    cost = CostModel(detector_delay=400.0, detection_timeout=20.0)
+    config = SimConfig(n_processors=4, seed=0, cost=cost)
+
+    base = run_simulation(
+        TreeWorkload(spec, "two-level"), config, policy=RollbackRecovery(),
+        collect_trace=False,
+    )
+    print(f"fault-free makespan: {base.makespan:.0f}\n")
+
+    rows = []
+    for frac in (0.3, 0.5, 0.7):
+        fault = FaultSchedule.single(frac * base.makespan, 1)
+        for policy in (RollbackRecovery(), SpliceRecovery()):
+            r = run_simulation(
+                TreeWorkload(spec, "two-level"), config, policy=policy,
+                faults=fault, collect_trace=False,
+            )
+            assert r.completed and r.verified is True
+            rows.append(
+                [
+                    f"{frac:.0%}",
+                    r.policy_name,
+                    round(r.makespan, 0),
+                    f"{r.makespan / base.makespan:.2f}x",
+                    r.metrics.steps_wasted,
+                    r.metrics.results_salvaged,
+                    r.metrics.twins_created,
+                ]
+            )
+    print(
+        format_table(
+            ["fault@", "policy", "makespan", "slowdown", "wasted steps", "salvaged", "twins"],
+            rows,
+            title="Rollback vs splice on the same faults",
+        )
+    )
+    print(
+        "\nSplice wastes roughly half the work and finishes sooner: the"
+        "\norphaned leaves' results are inherited by the twins instead of"
+        "\nbeing recomputed (paper §4.1, cases 4-6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

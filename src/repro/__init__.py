@@ -1,0 +1,74 @@
+"""repro — reproduction of Lin & Keller (ICPP 1986),
+*Distributed Recovery in Applicative Systems*.
+
+Quickstart
+----------
+
+>>> from repro import (
+...     SimConfig, InterpWorkload, RollbackRecovery, Fault, FaultSchedule,
+...     run_simulation,
+... )
+>>> from repro.lang.programs import get_program
+>>> workload = InterpWorkload(get_program("fib", 10), name="fib(10)")
+>>> result = run_simulation(
+...     workload,
+...     SimConfig(n_processors=4, seed=7),
+...     policy=RollbackRecovery(),
+...     faults=FaultSchedule.single(time=200.0, node=2),
+... )
+>>> result.value
+55
+
+Package layout
+--------------
+
+- :mod:`repro.lang`      — the applicative language substrate
+- :mod:`repro.sim`       — the distributed machine simulator
+- :mod:`repro.core`      — functional checkpointing, rollback, splice,
+  replication (the paper's contribution)
+- :mod:`repro.baselines` — periodic global checkpointing, restart, TMR
+- :mod:`repro.workloads` — synthetic call-tree generators, Figure-1 tree
+- :mod:`repro.analysis`  — experiment runner and figure reproductions
+"""
+
+from repro.config import CostModel, SimConfig
+from repro.core import (
+    CheckpointTable,
+    FaultTolerance,
+    FunctionalCheckpoint,
+    LevelStamp,
+    NoFaultTolerance,
+    ReplicatedExecution,
+    RollbackRecovery,
+    SpliceRecovery,
+)
+from repro.errors import ReproError
+from repro.lang import compile_program, run_program
+from repro.sim import Fault, FaultSchedule, InterpWorkload, Machine, RunResult, TreeWorkload
+from repro.sim.machine import run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "SimConfig",
+    "CheckpointTable",
+    "FaultTolerance",
+    "FunctionalCheckpoint",
+    "LevelStamp",
+    "NoFaultTolerance",
+    "ReplicatedExecution",
+    "RollbackRecovery",
+    "SpliceRecovery",
+    "ReproError",
+    "compile_program",
+    "run_program",
+    "Fault",
+    "FaultSchedule",
+    "InterpWorkload",
+    "Machine",
+    "RunResult",
+    "TreeWorkload",
+    "run_simulation",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Experiment harness: sweeps, figure reproductions, reporting."""
+
+from repro.analysis.experiments import (
+    FaultSweepPoint,
+    OverheadRow,
+    fault_free_makespan,
+    fault_time_sweep,
+    overhead_sweep,
+    scaling_sweep,
+)
+from repro.analysis.report import render_fault_sweep, render_overhead
+
+__all__ = [
+    "FaultSweepPoint",
+    "OverheadRow",
+    "fault_free_makespan",
+    "fault_time_sweep",
+    "overhead_sweep",
+    "scaling_sweep",
+    "render_fault_sweep",
+    "render_overhead",
+]

@@ -1,0 +1,236 @@
+"""Parameterized experiment runners.
+
+Each sweep turns the paper's qualitative claims into measured series:
+
+- :func:`overhead_sweep`     — fault-free cost of each policy (§6: "very
+  little overhead in a normal operation");
+- :func:`fault_time_sweep`   — recovery cost vs when the fault strikes
+  (§6: "if a fault happens at a later stage of the evaluation, the
+  rollback recovery may be costly");
+- :func:`scaling_sweep`      — substrate sanity: speedup vs processors;
+- :func:`multi_fault_run`    — §5.2: independent faults recover in
+  parallel.
+
+All runners take *factories* (machines and workloads are single-shot) and
+are deterministic given their seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.core.policy import FaultTolerance
+from repro.sim.failure import Fault, FaultSchedule
+from repro.sim.machine import Machine, RunResult
+from repro.sim.workload import Workload
+
+WorkloadFactory = Callable[[], Workload]
+PolicyFactory = Callable[[], FaultTolerance]
+
+
+def run_once(
+    workload_factory: WorkloadFactory,
+    config: SimConfig,
+    policy_factory: PolicyFactory,
+    faults: FaultSchedule = FaultSchedule.none(),
+    collect_trace: bool = False,
+) -> RunResult:
+    """One deterministic machine run."""
+    machine = Machine(
+        config, workload_factory(), policy_factory(), collect_trace=collect_trace
+    )
+    return machine.run(faults=faults)
+
+
+def fault_free_makespan(
+    workload_factory: WorkloadFactory,
+    config: SimConfig,
+    policy_factory: PolicyFactory,
+) -> float:
+    """Makespan of the fault-free run (the baseline for fault fractions)."""
+    result = run_once(workload_factory, config, policy_factory)
+    if not result.completed:
+        raise RuntimeError(f"fault-free run stalled: {result.stall_reason}")
+    return result.makespan
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Fault-free cost of one policy on one workload."""
+
+    workload: str
+    policy: str
+    makespan: float
+    overhead_vs_none: float  # makespan ratio to the no-FT run
+    checkpoints: int
+    peak_checkpoints: int
+    messages: int
+
+    def as_row(self) -> list:
+        return [
+            self.workload,
+            self.policy,
+            round(self.makespan, 1),
+            f"{self.overhead_vs_none:.3f}x",
+            self.checkpoints,
+            self.peak_checkpoints,
+            self.messages,
+        ]
+
+
+def overhead_sweep(
+    workloads: Dict[str, WorkloadFactory],
+    policies: Dict[str, PolicyFactory],
+    config: SimConfig,
+) -> List[OverheadRow]:
+    """Fault-free overhead of each policy relative to no fault tolerance."""
+    rows: List[OverheadRow] = []
+    for wname, wfactory in workloads.items():
+        base: Optional[float] = None
+        for pname, pfactory in policies.items():
+            result = run_once(wfactory, config, pfactory)
+            if not result.completed:
+                raise RuntimeError(
+                    f"fault-free {wname}/{pname} stalled: {result.stall_reason}"
+                )
+            if base is None:
+                base = result.makespan
+            rows.append(
+                OverheadRow(
+                    workload=wname,
+                    policy=pname,
+                    makespan=result.makespan,
+                    overhead_vs_none=result.makespan / base,
+                    checkpoints=result.metrics.checkpoints_recorded,
+                    peak_checkpoints=result.metrics.checkpoint_peak_held,
+                    messages=result.metrics.messages_total,
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class FaultSweepPoint:
+    """One (policy, fault-fraction) measurement."""
+
+    policy: str
+    fraction: float
+    fault_time: float
+    completed: bool
+    correct: bool
+    makespan: float
+    slowdown: float  # makespan / fault-free makespan
+    wasted_steps: int
+    salvaged_results: int
+    reissued: int
+    twins: int
+
+    def as_row(self) -> list:
+        return [
+            self.policy,
+            f"{self.fraction:.0%}",
+            round(self.makespan, 1),
+            f"{self.slowdown:.2f}x",
+            self.wasted_steps,
+            self.salvaged_results,
+            self.reissued,
+        ]
+
+
+def fault_time_sweep(
+    workload_factory: WorkloadFactory,
+    config: SimConfig,
+    policies: Dict[str, PolicyFactory],
+    fractions: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    victim: int = 1,
+) -> List[FaultSweepPoint]:
+    """Recovery cost as a function of when the fault strikes.
+
+    The fault time is ``fraction × fault-free makespan``; the fault-free
+    makespan is measured per policy so overheads don't skew fractions.
+    """
+    points: List[FaultSweepPoint] = []
+    for pname, pfactory in policies.items():
+        base = fault_free_makespan(workload_factory, config, pfactory)
+        for fraction in fractions:
+            fault_time = max(1.0, fraction * base)
+            result = run_once(
+                workload_factory,
+                config,
+                pfactory,
+                faults=FaultSchedule.single(fault_time, victim),
+            )
+            points.append(
+                FaultSweepPoint(
+                    policy=pname,
+                    fraction=fraction,
+                    fault_time=fault_time,
+                    completed=result.completed,
+                    correct=result.correct,
+                    makespan=result.makespan,
+                    slowdown=result.makespan / base,
+                    wasted_steps=result.metrics.steps_wasted,
+                    salvaged_results=result.metrics.results_salvaged,
+                    reissued=result.metrics.tasks_reissued,
+                    twins=result.metrics.twins_created,
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    processors: int
+    makespan: float
+    speedup: float
+    utilization_mean: float
+
+    def as_row(self) -> list:
+        return [
+            self.processors,
+            round(self.makespan, 1),
+            f"{self.speedup:.2f}x",
+            f"{self.utilization_mean:.2f}",
+        ]
+
+
+def scaling_sweep(
+    workload_factory: WorkloadFactory,
+    config: SimConfig,
+    policy_factory: PolicyFactory,
+    processor_counts: Sequence[int] = (1, 2, 4, 8),
+) -> List[ScalingPoint]:
+    """Speedup vs processor count (Rediflow-style substrate sanity)."""
+    points: List[ScalingPoint] = []
+    base: Optional[float] = None
+    for n in processor_counts:
+        cfg = config.with_(n_processors=n)
+        result = run_once(workload_factory, cfg, policy_factory)
+        if not result.completed:
+            raise RuntimeError(f"scaling run (P={n}) stalled: {result.stall_reason}")
+        if base is None:
+            base = result.makespan
+        util = result.metrics.utilization(result.makespan)
+        proc_util = [u for nid, u in util.items() if nid >= 0]
+        points.append(
+            ScalingPoint(
+                processors=n,
+                makespan=result.makespan,
+                speedup=base / result.makespan,
+                utilization_mean=sum(proc_util) / max(1, len(proc_util)),
+            )
+        )
+    return points
+
+
+def multi_fault_run(
+    workload_factory: WorkloadFactory,
+    config: SimConfig,
+    policy_factory: PolicyFactory,
+    fault_times: Sequence[Tuple[float, int]],
+) -> RunResult:
+    """Run with several (time, node) faults (§5.2)."""
+    schedule = FaultSchedule.of(*(Fault(t, n) for t, n in fault_times))
+    return run_once(workload_factory, config, policy_factory, faults=schedule)

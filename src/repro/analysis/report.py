@@ -1,0 +1,35 @@
+"""Rendering experiment results as the tables the benchmarks print."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.experiments import FaultSweepPoint, OverheadRow, ScalingPoint
+from repro.util.tables import format_table
+
+
+def render_overhead(rows: Sequence[OverheadRow], title: str = "Fault-free overhead") -> str:
+    return format_table(
+        ["workload", "policy", "makespan", "vs none", "ckpts", "peak ckpts", "msgs"],
+        [r.as_row() for r in rows],
+        title=title,
+    )
+
+
+def render_fault_sweep(
+    points: Sequence[FaultSweepPoint],
+    title: str = "Recovery cost vs fault time",
+) -> str:
+    return format_table(
+        ["policy", "fault@", "makespan", "slowdown", "wasted", "salvaged", "reissued"],
+        [p.as_row() for p in points],
+        title=title,
+    )
+
+
+def render_scaling(points: Sequence[ScalingPoint], title: str = "Scaling") -> str:
+    return format_table(
+        ["P", "makespan", "speedup", "util"],
+        [p.as_row() for p in points],
+        title=title,
+    )

@@ -1,0 +1,93 @@
+"""Whole-program restart baseline.
+
+§4.3.1's strawman: without a pre-evaluation checkpoint, "the user must
+restart the program" when the processor holding the root fails.  We
+generalize it to *any* failure: no checkpointing at all, and on failure
+the whole program starts over on the surviving processors.
+
+Implemented by composition over the real machine: run fault-free
+machines to measure segment times; total makespan = fault time + restart
+overhead + full re-run on the survivor set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import SimConfig
+from repro.core.policy import NoFaultTolerance
+from repro.sim.failure import Fault, FaultSchedule
+from repro.sim.machine import Machine
+from repro.sim.workload import Workload
+
+
+@dataclass(frozen=True)
+class RestartRunResult:
+    """Outcome of a run-under-restart-recovery."""
+
+    completed: bool
+    value: object
+    makespan: float
+    wasted_steps: float
+    restarts: int
+
+    def summary(self) -> str:
+        return (
+            f"restart: makespan={self.makespan:.1f} restarts={self.restarts} "
+            f"wasted={self.wasted_steps:.1f}"
+        )
+
+
+def restart_run(
+    workload_factory: Callable[[], Workload],
+    config: SimConfig,
+    fault: Optional[Fault] = None,
+    restart_overhead: float = 50.0,
+) -> RestartRunResult:
+    """Run under restart recovery.
+
+    ``workload_factory`` must build a fresh workload per call (machines
+    and behaviors are single-shot).
+    """
+    if fault is None:
+        machine = Machine(config, workload_factory(), NoFaultTolerance(), collect_trace=False)
+        result = machine.run()
+        return RestartRunResult(
+            completed=result.completed,
+            value=result.value,
+            makespan=result.makespan,
+            wasted_steps=0.0,
+            restarts=0,
+        )
+
+    # Segment 1: run fault-free to find how much work was underway by the
+    # fault (all of it is thrown away).
+    probe = Machine(config, workload_factory(), NoFaultTolerance(), collect_trace=False)
+    probe_result = probe.run()
+    if probe_result.makespan <= fault.time:
+        # the program finished before the fault would have struck
+        return RestartRunResult(
+            completed=True,
+            value=probe_result.value,
+            makespan=probe_result.makespan,
+            wasted_steps=0.0,
+            restarts=0,
+        )
+    wasted = fault.time  # upper bound: all processors busy until the fault
+
+    # Segment 2: full re-run on the survivors.
+    survivor_config = config.with_(
+        n_processors=config.n_processors - 1,
+        # hypercube needs power-of-two node counts; fall back to complete
+        topology="complete" if config.topology == "hypercube" else config.topology,
+    )
+    rerun = Machine(survivor_config, workload_factory(), NoFaultTolerance(), collect_trace=False)
+    rerun_result = rerun.run()
+    return RestartRunResult(
+        completed=rerun_result.completed,
+        value=rerun_result.value,
+        makespan=fault.time + restart_overhead + rerun_result.makespan,
+        wasted_steps=wasted,
+        restarts=1,
+    )

@@ -1,0 +1,21 @@
+"""Triple modular redundancy baseline (Misunas [11]).
+
+    "Misunas proposed a triple modular redundancy implementation of a
+    dataflow machine.  Three complete copies of the program are stored in
+    the memory.  Copies of each instruction are carefully distributed so
+    that each copy is executed by a different processor [...] the failure
+    of any single block affects at most one copy of the program."  (§5.4)
+
+§5.3 observes that an applicative system emulates this by replicating
+task packets — so the TMR baseline *is* the replication policy fixed at
+k = 3.  This module just pins that configuration.
+"""
+
+from __future__ import annotations
+
+from repro.core.replication import ReplicatedExecution
+
+
+def tmr_policy() -> ReplicatedExecution:
+    """The TMR configuration of the §5.3 replication policy."""
+    return ReplicatedExecution(k=3)

@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+    python -m repro list
+    python -m repro run fib-10 --policy splice --processors 4 \\
+        --fault 600:2 --fault 900:1 --seed 7 --trace
+    python -m repro figures
+
+``run`` executes a named workload under a policy with optional fault
+injection and prints the run summary (and optionally the recovery trace);
+``figures`` regenerates every paper figure; ``list`` shows the available
+workload and policy names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import SimConfig
+from repro.core import (
+    NoFaultTolerance,
+    ReplicatedExecution,
+    RollbackRecovery,
+    SpliceRecovery,
+)
+from repro.sim import Fault, FaultSchedule
+from repro.sim.machine import run_simulation
+from repro.util.tables import format_table
+from repro.workloads.suite import WORKLOADS, get_workload
+
+POLICIES = {
+    "none": NoFaultTolerance,
+    "rollback": RollbackRecovery,
+    "splice": SpliceRecovery,
+    "replicated": ReplicatedExecution,
+}
+
+TRACE_KINDS = (
+    "node_failed",
+    "failure_detected",
+    "recovery_reissue",
+    "twin_created",
+    "result_orphan_rerouted",
+    "result_salvaged",
+    "task_aborted",
+)
+
+
+def _parse_fault(text: str) -> Fault:
+    try:
+        time_str, node_str = text.split(":", 1)
+        return Fault(float(time_str), int(node_str))
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"fault must be TIME:NODE (e.g. 600:2), got {text!r}"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lin & Keller (ICPP 1986) distributed-recovery reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and policies")
+    sub.add_parser("figures", help="regenerate every paper figure")
+
+    run = sub.add_parser("run", help="run a workload on the simulated machine")
+    run.add_argument("workload", help="workload name (see `repro list`)")
+    run.add_argument("--policy", choices=sorted(POLICIES), default="rollback")
+    run.add_argument("--processors", type=int, default=4)
+    run.add_argument(
+        "--topology",
+        choices=("complete", "ring", "mesh", "hypercube", "star"),
+        default="complete",
+    )
+    run.add_argument(
+        "--scheduler",
+        choices=("gradient", "random", "round_robin", "local", "static"),
+        default="gradient",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--replication", type=int, default=3, help="k for --policy replicated")
+    run.add_argument(
+        "--fault",
+        type=_parse_fault,
+        action="append",
+        default=[],
+        metavar="TIME:NODE",
+        help="kill NODE at TIME (repeatable)",
+    )
+    run.add_argument("--trace", action="store_true", help="print recovery trace")
+    return parser
+
+
+def cmd_list(out) -> int:
+    rows = [[name, WORKLOADS[name]().name] for name in sorted(WORKLOADS)]
+    print(format_table(["workload", "builds"], rows, title="Workloads"), file=out)
+    print(file=out)
+    print(
+        format_table(
+            ["policy", "class"],
+            [[n, cls.__name__] for n, cls in sorted(POLICIES.items())],
+            title="Policies",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_figures(out) -> int:
+    from repro.analysis.figures import all_figures
+
+    status = 0
+    for report in all_figures():
+        print(report, file=out)
+        print(file=out)
+        if not report.ok:
+            status = 1
+    return status
+
+
+def cmd_run(args, out) -> int:
+    try:
+        workload = get_workload(args.workload)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = SimConfig(
+        n_processors=args.processors,
+        topology=args.topology,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        replication_factor=args.replication,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    policy = (
+        ReplicatedExecution(k=args.replication)
+        if args.policy == "replicated"
+        else POLICIES[args.policy]()
+    )
+    faults = FaultSchedule.of(*args.fault)
+    for fault in faults:
+        if fault.node >= args.processors:
+            print(f"error: fault targets unknown processor {fault.node}", file=sys.stderr)
+            return 2
+    result = run_simulation(
+        workload, config, policy=policy, faults=faults, collect_trace=True
+    )
+    print(result.summary(), file=out)
+    metrics_rows = result.metrics.summary_rows()
+    print(format_table(["metric", "value"], metrics_rows), file=out)
+    if args.trace:
+        print("\nRecovery trace:", file=out)
+        text = result.trace.render(kinds=TRACE_KINDS)
+        print(text if text else "  (no recovery events)", file=out)
+    return 0 if result.correct or (not faults and result.completed) else 1
+
+
+def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list(out)
+    if args.command == "figures":
+        return cmd_figures(out)
+    return cmd_run(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

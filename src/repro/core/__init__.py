@@ -1,0 +1,31 @@
+"""The paper's primary contribution: functional checkpointing and the two
+distributed recovery algorithms built on it.
+
+- :mod:`repro.core.stamps` — level stamps (§3.1)
+- :mod:`repro.core.packets` — task packets with parent/grandparent linkage
+- :mod:`repro.core.checkpoint` — functional-checkpoint tables (§2, §3.2)
+- :mod:`repro.core.policy` — the fault-tolerance strategy interface
+- :mod:`repro.core.rollback` — rollback recovery (§3)
+- :mod:`repro.core.splice` — splice recovery (§4)
+- :mod:`repro.core.replication` — replicated tasks + majority voting (§5.3)
+- :mod:`repro.core.cases` — Figure 5's eight C/C' orderings, classified
+  from traces
+"""
+
+from repro.core.checkpoint import CheckpointTable, FunctionalCheckpoint
+from repro.core.policy import FaultTolerance, NoFaultTolerance
+from repro.core.replication import ReplicatedExecution
+from repro.core.rollback import RollbackRecovery
+from repro.core.splice import SpliceRecovery
+from repro.core.stamps import LevelStamp
+
+__all__ = [
+    "CheckpointTable",
+    "FunctionalCheckpoint",
+    "FaultTolerance",
+    "NoFaultTolerance",
+    "ReplicatedExecution",
+    "RollbackRecovery",
+    "SpliceRecovery",
+    "LevelStamp",
+]

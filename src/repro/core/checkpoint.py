@@ -1,0 +1,170 @@
+"""Functional checkpoints and the per-processor checkpoint table (§3.2).
+
+    "Each processor maintains a table of linked lists.  The Nth entry of
+    the table contains all topmost checkpoints from the host processor to
+    processor N.  [...] when processor C spawns task B2 to processor B, C
+    compares the level stamp of B2 with all checkpoints in entry B.  If B2
+    is a descendant of an existing functional checkpoint, C does nothing.
+    Otherwise, processor C makes a checkpoint for B2 in entry B."
+
+The *topmost invariant*: within one entry, no checkpoint's stamp is an
+ancestor of another's.  Recovery then "redoes only the most ancient
+ancestor and ignores the rest".
+
+Entries are keyed by the destination processor the child was *placed on*
+(known at placement-acknowledgement time under dynamic allocation).
+
+One refinement beyond the paper's presentation: during recovery, *two
+activations of the same logical task can race* (the paper's own cases
+6/7), and each lineage spawns the same child stamps.  A checkpoint only
+covers a new spawn if redoing it would regenerate that spawn's holder —
+i.e. if the checkpoint's holder is an **instance ancestor** of the new
+spawn's holder, not merely a stamp ancestor.  The ``covers`` predicate
+(supplied by the policy, which can see instance genealogy) encodes this;
+with ``covers=None`` the table degrades to the paper's stamp-only rule,
+which is exact in the absence of racing lineages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.packets import TaskPacket
+from repro.core.stamps import LevelStamp
+
+#: covers(ancestor_holder_uid, descendant_holder_uid) -> bool
+CoversFn = Callable[[int, int], bool]
+
+
+@dataclass(frozen=True)
+class FunctionalCheckpoint:
+    """A recovery point for one function application.
+
+    ``task_uid`` names the local parent instance whose spawn record retains
+    the packet; ``packet`` is the retained copy itself.
+    """
+
+    stamp: LevelStamp
+    dest: int
+    packet: TaskPacket
+    task_uid: int
+
+
+_Key = Tuple[LevelStamp, int]  # (child stamp, holder task uid)
+
+
+class CheckpointTable:
+    """Per-processor table of topmost functional checkpoints by destination."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Dict[_Key, FunctionalCheckpoint]] = {}
+        self.recorded = 0
+        self.dropped = 0
+        self.suppressed = 0  # spawns that were descendants of an entry
+        self.peak_held = 0
+
+    # -- mutation -------------------------------------------------------------
+
+    def record(
+        self,
+        dest: int,
+        stamp: LevelStamp,
+        packet: TaskPacket,
+        task_uid: int,
+        covers: Optional[CoversFn] = None,
+    ) -> Optional[FunctionalCheckpoint]:
+        """Apply the §3.2 insertion rule for a child placed on ``dest``.
+
+        Returns the new checkpoint, or ``None`` when a covering ancestor
+        checkpoint is already recorded (the "C does nothing" case).
+        ``covers`` restricts coverage to the same activation lineage (see
+        module docstring); ``None`` means stamp-only coverage.
+        """
+        entry = self._entries.setdefault(dest, {})
+        for (s, uid), cp in entry.items():
+            if (s == stamp or s.is_ancestor_of(stamp)) and (
+                covers is None or covers(uid, task_uid)
+            ):
+                self.suppressed += 1
+                return None
+        # A new topmost stamp can also *subsume* previously recorded
+        # descendants of the same lineage (possible after recovery
+        # re-placements): drop them so the invariant holds.
+        subsumed = [
+            key
+            for key, cp in entry.items()
+            if stamp.is_ancestor_of(key[0])
+            and (covers is None or covers(task_uid, key[1]))
+        ]
+        for key in subsumed:
+            del entry[key]
+            self.dropped += 1
+        checkpoint = FunctionalCheckpoint(stamp, dest, packet, task_uid)
+        entry[(stamp, task_uid)] = checkpoint
+        self.recorded += 1
+        self.peak_held = max(self.peak_held, self.held())
+        return checkpoint
+
+    def drop(self, dest: int, stamp: LevelStamp, task_uid: Optional[int] = None) -> bool:
+        """Remove checkpoint(s) for ``stamp`` (optionally one holder's)."""
+        entry = self._entries.get(dest)
+        if not entry:
+            return False
+        keys = [
+            key
+            for key in entry
+            if key[0] == stamp and (task_uid is None or key[1] == task_uid)
+        ]
+        for key in keys:
+            del entry[key]
+            self.dropped += 1
+        return bool(keys)
+
+    def drop_everywhere(self, stamp: LevelStamp, task_uid: Optional[int] = None) -> int:
+        """Remove a stamp from all entries (placement changed or unknown)."""
+        removed = 0
+        for dest in list(self._entries):
+            if self.drop(dest, stamp, task_uid):
+                removed += 1
+        return removed
+
+    # -- queries --------------------------------------------------------------
+
+    def entry(self, dest: int) -> List[FunctionalCheckpoint]:
+        """Topmost checkpoints for tasks resident on ``dest`` (sorted)."""
+        entry = self._entries.get(dest, {})
+        return sorted(entry.values(), key=lambda c: (c.stamp.sort_key(), c.task_uid))
+
+    def lookup(self, stamp: LevelStamp) -> Optional[FunctionalCheckpoint]:
+        for entry in self._entries.values():
+            for (s, _uid), cp in entry.items():
+                if s == stamp:
+                    return cp
+        return None
+
+    def held(self) -> int:
+        """Number of checkpoints currently retained."""
+        return sum(len(e) for e in self._entries.values())
+
+    def destinations(self) -> List[int]:
+        return sorted(d for d, e in self._entries.items() if e)
+
+    def __iter__(self) -> Iterator[FunctionalCheckpoint]:
+        for dest in sorted(self._entries):
+            yield from self.entry(dest)
+
+    def check_invariant(self) -> None:
+        """Assert the per-lineage topmost invariant (stamp-only form: no
+        two entries of one destination may be stamp-related *and* share a
+        holder)."""
+        for dest, entry in self._entries.items():
+            keys = list(entry)
+            for a_stamp, a_uid in keys:
+                for b_stamp, b_uid in keys:
+                    if (a_stamp, a_uid) != (b_stamp, b_uid) and a_uid == b_uid:
+                        if a_stamp == b_stamp or a_stamp.is_ancestor_of(b_stamp):
+                            raise AssertionError(
+                                f"topmost invariant violated in entry {dest}: "
+                                f"{a_stamp} covers {b_stamp} (holder {a_uid})"
+                            )

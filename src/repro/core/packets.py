@@ -1,0 +1,103 @@
+"""Task packets — the unit of spawning *and* of functional checkpointing.
+
+    "A task packet is formed for the new function and then waits for
+    execution.  The packet contains all necessary information, either
+    directly or indirectly accessible, to activate the child task."  (§2.1)
+
+A packet is immutable.  The copy a parent retains at spawn time *is* the
+functional checkpoint: re-submitting the identical packet re-activates the
+task, and determinacy guarantees the re-activation computes the same
+answer.
+
+Beyond the paper's minimum (function + arguments), a packet carries the
+return address of the parent task instance and the *grandparent node* —
+the paper's §4.2 observation that resilience costs only "a physical
+identification of grandparent node which may be just an integer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Tuple
+
+from repro.core.stamps import LevelStamp
+
+#: Node id of the super-root (§4.3.1) — the immortal parent of all user
+#: programs.  It is not a processor; it cannot fail.
+SUPER_ROOT_NODE = -1
+
+
+@dataclass(frozen=True)
+class ReturnAddress:
+    """Where a task's result packet must be forwarded.
+
+    ``node`` locates the processor; ``instance`` the parent task
+    activation.  Results are matched to the parent's demand slot by the
+    child's stamp, not by the instance id, so a *rebound* record (after
+    recovery) still accepts them.
+    """
+
+    node: int
+    instance: int
+
+    def __str__(self) -> str:
+        return f"{self.node}#{self.instance}"
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """What the task computes.
+
+    ``kind``:
+
+    - ``"main"``  — evaluate the program's main expression (the root task);
+    - ``"apply"`` — apply global function ``fn_name`` to ``args``;
+    - ``"tree"``  — execute node ``tree_node`` of a synthetic workload tree.
+    """
+
+    kind: str
+    fn_name: Optional[str] = None
+    args: Tuple[Any, ...] = ()
+    tree_node: Optional[int] = None
+
+    def describe(self) -> str:
+        if self.kind == "main":
+            return "<main>"
+        if self.kind == "apply":
+            rendered = " ".join(repr(a) for a in self.args)
+            return f"({self.fn_name} {rendered})"
+        return f"<tree {self.tree_node}>"
+
+
+@dataclass(frozen=True)
+class TaskPacket:
+    """An activation record for one function application.
+
+    Two activations of the same packet are interchangeable: ``stamp``
+    identifies the *logical* task, while activations get distinct instance
+    ids from the executing node.
+    """
+
+    stamp: LevelStamp
+    work: WorkSpec
+    parent: ReturnAddress
+    #: Node hosting the grandparent task (relay point for splice recovery);
+    #: SUPER_ROOT_NODE for children of the root, and for the root itself.
+    grandparent_node: int = SUPER_ROOT_NODE
+    #: Replica index under the §5.3 replication policy (0 for the primary).
+    replica: int = 0
+
+    def reissued_to(self, parent: ReturnAddress) -> "TaskPacket":
+        """A copy of this packet re-addressed to a new parent instance.
+
+        Used when a recovered parent (or the checkpoint holder itself)
+        re-activates the task: the logical identity (stamp, work) is
+        unchanged — that is the whole point of a functional checkpoint.
+        """
+        return replace(self, parent=parent)
+
+    def with_replica(self, replica: int) -> "TaskPacket":
+        return replace(self, replica=replica)
+
+    def describe(self) -> str:
+        return f"[{self.stamp}] {self.work.describe()} -> {self.parent}"

@@ -1,0 +1,162 @@
+"""Rollback recovery (paper §3).
+
+    "When processor C identifies the failure of processor B, C simply
+    reissues all the checkpointed tasks found in entry B of the table.  By
+    doing so, processor C fulfills its responsibility of recovering B.
+    Other processors take similar actions [...]  The complete recovery of
+    a faulty processor is a collective effort from processors which have
+    checkpointed applications on the failed processor."  (§3.2)
+
+Mechanism on each node:
+
+- **Checkpoint recording** happens at placement-acknowledgement time (the
+  executor becomes known under dynamic allocation): the child's stamp is
+  inserted into the table entry of its executor iff no recorded ancestor
+  already covers it (topmost rule).
+- **Recovery** on failure detection: reissue every topmost checkpoint in
+  the dead processor's entry; the parent instance's spawn record is
+  re-armed and the packet re-placed by the ordinary load balancer (§3.3:
+  recovery tasks are indistinguishable from original tasks).
+- **Orphan abort**: a task aborts when its result cannot be forwarded to
+  its (dead) parent — the base-policy default — and when it waits on a
+  dead child that no checkpoint will regenerate ("new arguments of the
+  task cannot be obtained due to failures").  All intermediate results
+  below the cut are discarded; there is no domino effect because
+  applicative programs need no undo (§3, citing Randell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.checkpoint import CheckpointTable
+from repro.core.policy import FaultTolerance
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.messages import PlacementAck
+    from repro.sim.node import Node
+    from repro.sim.task import SpawnRecord, TaskInstance
+
+
+@dataclass
+class _NodeState:
+    table: CheckpointTable = field(default_factory=CheckpointTable)
+
+
+class RollbackRecovery(FaultTolerance):
+    """Functional checkpointing with reissue-topmost recovery."""
+
+    name = "rollback"
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def make_node_state(self, node: "Node") -> _NodeState:
+        return _NodeState()
+
+    def table_of(self, node: "Node") -> CheckpointTable:
+        return node.ft_state.table
+
+    def instance_covers(self, ancestor_uid: int, holder_uid: int) -> bool:
+        """True when re-activating ``ancestor_uid``'s checkpointed child
+        regenerates everything ``holder_uid``'s spawn computes.
+
+        That holds exactly when the holder *instance* descends from the
+        ancestor instance: recovered activations race with original ones
+        (§4.1 cases 6/7), and a checkpoint from one lineage must not
+        swallow the recovery point of another.
+        """
+        uid = holder_uid
+        seen = 0
+        while True:
+            if uid == ancestor_uid:
+                return True
+            task = self.machine.instance(uid)
+            if task is None:
+                return False
+            parent_uid = task.packet.parent.instance
+            if parent_uid == uid:  # the super-root host is its own parent
+                return False
+            uid = parent_uid
+            seen += 1
+            if seen > 1_000_000:  # pragma: no cover - cycle guard
+                raise RuntimeError("instance genealogy cycle")
+
+    def on_placement_ack(self, node, task, record, ack) -> None:
+        table = self.table_of(node)
+        # A re-placement moves the checkpoint to the new executor's entry.
+        if record.checkpointed:
+            table.drop_everywhere(record.child_stamp, task.uid)
+        checkpoint = table.record(
+            ack.executor,
+            record.child_stamp,
+            record.packet,
+            task.uid,
+            covers=self.instance_covers,
+        )
+        record.checkpointed = checkpoint is not None
+        if checkpoint is not None:
+            self.machine.metrics.checkpoints_recorded += 1
+            self.machine.metrics.checkpoint_peak_held = max(
+                self.machine.metrics.checkpoint_peak_held, self._held_everywhere()
+            )
+            self.machine.metrics.add_busy(node.id, node.cost.checkpoint_overhead)
+            node.trace.emit(
+                node.queue.now,
+                node.id,
+                "checkpoint_recorded",
+                stamp=str(record.child_stamp),
+                dest=ack.executor,
+            )
+
+    def _held_everywhere(self) -> int:
+        return sum(
+            n.ft_state.table.held()
+            for n in self.machine.all_nodes()
+            if isinstance(n.ft_state, _NodeState)
+        )
+
+    def on_child_result(self, node, task, record, value) -> None:
+        # The child's whole subtree completed: its recovery point is moot.
+        if record.checkpointed:
+            if self.table_of(node).drop_everywhere(record.child_stamp, task.uid):
+                self.machine.metrics.checkpoints_dropped += 1
+                node.trace.emit(
+                    node.queue.now,
+                    node.id,
+                    "checkpoint_dropped",
+                    stamp=str(record.child_stamp),
+                )
+            record.checkpointed = False
+
+    # -- recovery -----------------------------------------------------------------
+
+    def on_failure_detected(self, node: "Node", dead_node: int) -> None:
+        self._reissue_entry(node, dead_node)
+        self._abort_starved_tasks(node, dead_node)
+
+    def _reissue_entry(self, node: "Node", dead_node: int) -> None:
+        table = self.table_of(node)
+        for checkpoint in table.entry(dead_node):
+            table.drop(dead_node, checkpoint.stamp, checkpoint.task_uid)
+            holder = self.machine.instance(checkpoint.task_uid)
+            if holder is None:
+                continue
+            record = holder.record_for_child(checkpoint.stamp)
+            if record is None or record.has_result:
+                continue
+            record.checkpointed = False
+            node.reissue_record(holder, record, reason="rollback-entry")
+
+    def _abort_starved_tasks(self, node: "Node", dead_node: int) -> None:
+        """Abort tasks waiting on dead-node children that nobody reissues.
+
+        After the reissue pass, any unfulfilled record still pointing at
+        the dead executor belongs to a non-topmost child: its ancestor's
+        reissue will recompute the whole region, so the waiting task can
+        never contribute — "the aborted tasks and their descendants may be
+        recollected during garbage collection" (§3.2).
+        """
+        for task in list(node.live_tasks()):
+            if any(r.executor == dead_node for r in task.unfulfilled_records()):
+                node.abort_task(task, reason="args-unobtainable")

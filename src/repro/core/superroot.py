@@ -1,0 +1,57 @@
+"""Super-root inspection helpers (paper §4.3.1).
+
+    "One simple method to generate a preevaluation checkpoint is to create
+    a super-root which acts as the parent processor of all user programs.
+    When a user program is initiated, the super-root checkpoints the
+    program so that a duplicate copy of the program can be found in the
+    system should the root fail."
+
+In this implementation the super-root is machine node ``-1``: a regular,
+immortal node whose single task demands the user program's root and awaits
+the answer.  Because it runs the same protocol as every processor, the
+root task's functional checkpoint, reissue-on-failure, and splice twin
+creation need no special code — this module only provides introspection
+used by tests and figure reproductions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.packets import SUPER_ROOT_NODE, TaskPacket
+from repro.core.stamps import LevelStamp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+    from repro.sim.task import SpawnRecord
+
+
+#: The root task's stamp: the super-root's host task holds the empty stamp
+#: (the paper's "null level number" belongs to the program's parent), and
+#: the user root is its single child.
+ROOT_TASK_STAMP = LevelStamp.of(0)
+
+
+def is_super_root(node_id: int) -> bool:
+    """True for the immortal pseudo-processor."""
+    return node_id == SUPER_ROOT_NODE
+
+
+def root_record(machine: "Machine") -> Optional["SpawnRecord"]:
+    """The super-root's spawn record for the user root task."""
+    host = machine.instance(machine.root_host_uid)
+    if host is None:
+        return None
+    return host.spawn_records.get(0)
+
+
+def root_checkpoint_packet(machine: "Machine") -> Optional[TaskPacket]:
+    """The pre-evaluation checkpoint: the retained root task packet."""
+    record = root_record(machine)
+    return record.packet if record is not None else None
+
+
+def root_executor(machine: "Machine") -> Optional[int]:
+    """The processor currently believed to host the root task."""
+    record = root_record(machine)
+    return record.executor if record is not None else None

@@ -1,0 +1,146 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking unrelated bugs.  The
+sub-hierarchy mirrors the package layout: language errors, simulator errors,
+and recovery-protocol errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Language substrate
+# ---------------------------------------------------------------------------
+
+
+class LangError(ReproError):
+    """Base class for errors in the applicative-language substrate."""
+
+
+class ParseError(LangError):
+    """Raised when s-expression source text cannot be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    they are known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class EvalError(LangError):
+    """Raised when evaluation of an applicative expression fails."""
+
+
+class UnboundVariableError(EvalError):
+    """Raised when a variable reference has no binding in scope."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unbound variable: {name!r}")
+
+
+class ArityError(EvalError):
+    """Raised when a function is applied to the wrong number of arguments."""
+
+    def __init__(self, fn_name: str, expected: int, got: int):
+        self.fn_name = fn_name
+        self.expected = expected
+        self.got = got
+        super().__init__(f"{fn_name}: expected {expected} argument(s), got {got}")
+
+
+class TypeMismatchError(EvalError):
+    """Raised when a primitive receives an operand of the wrong type."""
+
+
+class RecursionBudgetError(EvalError):
+    """Raised when sequential evaluation exceeds its step budget."""
+
+
+# ---------------------------------------------------------------------------
+# Simulator substrate
+# ---------------------------------------------------------------------------
+
+
+class SimError(ReproError):
+    """Base class for errors raised by the machine simulator."""
+
+
+class TopologyError(SimError):
+    """Raised for invalid topology construction or routing requests."""
+
+
+class SchedulingError(SimError):
+    """Raised when the load balancer cannot place a task packet."""
+
+
+class ProtocolError(SimError):
+    """Raised when a node receives a packet that violates the protocol.
+
+    Per the paper's rule of thumb a node *ignores* unhandled packets during
+    normal operation; this error marks genuine implementation bugs (e.g. a
+    result for a task the node never spawned under a no-fault run).
+    """
+
+
+class SimulationStalledError(SimError):
+    """Raised when the event queue drains before the root task completes.
+
+    A stall indicates a deadlock in the protocol (e.g. an orphan waiting on a
+    node that will never answer) and is always a bug or an unrecoverable fault
+    pattern, such as simultaneous parent+grandparent failure under splice
+    recovery without great-grandparent pointers.
+    """
+
+    def __init__(self, message: str, pending_tasks: int = 0, time: float = 0.0):
+        self.pending_tasks = pending_tasks
+        self.time = time
+        super().__init__(message)
+
+
+class SimulationBudgetError(SimError):
+    """Raised when a run exceeds its configured event or time budget."""
+
+
+# ---------------------------------------------------------------------------
+# Recovery protocols
+# ---------------------------------------------------------------------------
+
+
+class RecoveryError(ReproError):
+    """Base class for fault-tolerance protocol errors."""
+
+
+class DeterminacyViolationError(RecoveryError):
+    """Raised when two activations of one task packet disagree on the result.
+
+    Determinacy (paper §2.1) guarantees identical answers from identical
+    activations; a violation means the substrate leaked nondeterminism into
+    task evaluation and recovery results cannot be trusted.
+    """
+
+    def __init__(self, stamp, first, second):
+        self.stamp = stamp
+        self.first = first
+        self.second = second
+        super().__init__(
+            f"determinacy violation at stamp {stamp}: {first!r} != {second!r}"
+        )
+
+
+class UnrecoverableFailureError(RecoveryError):
+    """Raised when the configured policy cannot recover a fault pattern."""
+
+
+class VoteInconclusiveError(RecoveryError):
+    """Raised when replicated-task voting cannot reach a majority (§5.3)."""

@@ -1,0 +1,61 @@
+"""The applicative-language substrate.
+
+Lin & Keller's recovery protocols are defined over the evaluation of
+*applicative* (purely functional) programs.  This package provides that
+substrate: a small, strict, purely functional s-expression language with
+
+- a reader (:mod:`repro.lang.sexpr`),
+- an AST (:mod:`repro.lang.astnodes`),
+- runtime values including first-class closures (:mod:`repro.lang.values`),
+- ~40 primitives (:mod:`repro.lang.prims`),
+- a sequential reference interpreter (:mod:`repro.lang.interp`) used as the
+  determinacy oracle for every distributed run, and
+- a library of benchmark programs (:mod:`repro.lang.programs`).
+
+The language is deliberately free of side effects: there is no assignment,
+no I/O, and all data is immutable.  Determinacy (paper §2.1) therefore holds
+by construction, which is the property every recovery argument in the paper
+leans on.
+"""
+
+from repro.lang.astnodes import (
+    And,
+    App,
+    Expr,
+    If,
+    Lambda,
+    Let,
+    Lit,
+    Local,
+    Or,
+    Quote,
+    Var,
+)
+from repro.lang.compileprog import Program, compile_program
+from repro.lang.interp import EvalStats, evaluate, run_program
+from repro.lang.sexpr import parse_many, parse_one
+from repro.lang.values import Closure, GlobalFunction, Symbol
+
+__all__ = [
+    "And",
+    "App",
+    "Expr",
+    "If",
+    "Lambda",
+    "Let",
+    "Lit",
+    "Local",
+    "Or",
+    "Quote",
+    "Var",
+    "Program",
+    "compile_program",
+    "EvalStats",
+    "evaluate",
+    "run_program",
+    "parse_many",
+    "parse_one",
+    "Closure",
+    "GlobalFunction",
+    "Symbol",
+]

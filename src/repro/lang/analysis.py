@@ -1,0 +1,151 @@
+"""Static-ish call-tree analysis.
+
+Because the language is determinate, the *shape* of the distributed call
+tree is fixed by the program alone: it can be discovered by a sequential
+evaluation that records every would-be spawn.  The simulator's distributed
+runs are checked against these shapes (same task count, same stamps), which
+is the paper's "uniqueness guaranteed by the program structure" claim
+(§3.1) in executable form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.lang.compileprog import Program
+from repro.lang.interp import EvalStats, evaluate
+
+
+@dataclass
+class CallTreeNode:
+    """One task in the implicit call tree.
+
+    ``stamp`` is the level stamp the distributed evaluator will assign:
+    the root task has the empty stamp ``()``; the k-th child spawned by a
+    task with stamp ``s`` has stamp ``s + (k,)`` (paper §3.1).
+    """
+
+    fn_name: str
+    args: Tuple[Any, ...]
+    stamp: Tuple[int, ...]
+    result: Any = None
+    children: List["CallTreeNode"] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.stamp)
+
+    def size(self) -> int:
+        """Number of tasks in this subtree (including self)."""
+        return 1 + sum(c.size() for c in self.children)
+
+    def height(self) -> int:
+        """Longest stamp length below (0 for a leaf)."""
+        if not self.children:
+            return 0
+        return 1 + max(c.height() for c in self.children)
+
+    def iter_nodes(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def find(self, stamp: Tuple[int, ...]) -> Optional["CallTreeNode"]:
+        """Locate the node with the given stamp, if present."""
+        if stamp == self.stamp:
+            return self
+        if stamp[: len(self.stamp)] != self.stamp:
+            return None
+        for child in self.children:
+            found = child.find(stamp)
+            if found is not None:
+                return found
+        return None
+
+
+@dataclass(frozen=True)
+class CallTreeShape:
+    """Summary of a call tree: what the benches sweep over."""
+
+    tasks: int
+    height: int
+    leaves: int
+    max_fanout: int
+
+
+def build_call_tree(program: Program) -> CallTreeNode:
+    """Evaluate ``program`` sequentially and record its spawn tree.
+
+    The root node represents the main expression (the "root task"); every
+    ``App`` of a global function appends a child in spawn order.
+    """
+    root = CallTreeNode(fn_name="<main>", args=(), stamp=())
+    stack: List[CallTreeNode] = [root]
+
+    def on_spawn(fn_name: str, args: Tuple[Any, ...], depth: int) -> None:
+        parent = stack[-1]
+        child = CallTreeNode(
+            fn_name=fn_name,
+            args=args,
+            stamp=parent.stamp + (len(parent.children),),
+        )
+        parent.children.append(child)
+        stack.append(child)
+
+    def on_spawn_exit(result: Any) -> None:
+        node = stack.pop()
+        node.result = result
+
+    root.result = evaluate(
+        program, stats=EvalStats(), on_spawn=on_spawn, on_spawn_exit=on_spawn_exit
+    )
+    assert stack == [root], "spawn stack imbalance — interpreter bug"
+    return root
+
+
+def shape_of(tree: CallTreeNode) -> CallTreeShape:
+    """Compute summary shape statistics of a call tree."""
+    tasks = 0
+    leaves = 0
+    max_fanout = 0
+    for node in tree.iter_nodes():
+        tasks += 1
+        if not node.children:
+            leaves += 1
+        max_fanout = max(max_fanout, len(node.children))
+    return CallTreeShape(
+        tasks=tasks, height=tree.height(), leaves=leaves, max_fanout=max_fanout
+    )
+
+
+def stamps_of(tree: CallTreeNode) -> Dict[Tuple[int, ...], str]:
+    """Map every stamp in the tree to its function name."""
+    return {node.stamp: node.fn_name for node in tree.iter_nodes()}
+
+
+def render_tree(tree: CallTreeNode, max_depth: Optional[int] = None) -> str:
+    """ASCII rendering of a call tree (used by figure reproductions)."""
+    lines: List[str] = []
+
+    def rec(node: CallTreeNode, prefix: str, is_last: bool, depth: int) -> None:
+        stamp = ".".join(str(d) for d in node.stamp) or "root"
+        label = f"{node.fn_name}{list(node.args)!r} [{stamp}]"
+        if node.result is not None:
+            label += f" = {node.result!r}"
+        connector = "" if not prefix and is_last else ("`-- " if is_last else "|-- ")
+        if depth == 0:
+            lines.append(label)
+        else:
+            lines.append(prefix + connector + label)
+        if max_depth is not None and depth >= max_depth:
+            if node.children:
+                lines.append(prefix + ("    " if is_last else "|   ") + "...")
+            return
+        for i, child in enumerate(node.children):
+            child_last = i == len(node.children) - 1
+            child_prefix = prefix + ("    " if is_last else "|   ") if depth > 0 else ""
+            rec(child, child_prefix, child_last, depth + 1)
+
+    rec(tree, "", True, 0)
+    return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""Abstract syntax of the applicative language.
+
+The surface syntax is s-expressions; :func:`expr_from_form` converts parsed
+forms into these nodes.  Special forms:
+
+``(lambda (x y) body)``      anonymous function
+``(if c t e)``               conditional (lazy branches)
+``(let ((x e1) (y e2)) b)``  parallel bindings
+``(and e1 e2 ...)``          short-circuit conjunction
+``(or e1 e2 ...)``           short-circuit disjunction
+``(quote datum)`` / ``'d``   literal data
+``(local f a1 a2 ...)``      apply global function f *inside* the current
+                             task (grain-size control; never spawns)
+
+Everything else in operator position is an application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.errors import ParseError
+from repro.lang.values import Symbol
+
+
+class Expr:
+    """Base class for expression nodes (all frozen dataclasses)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A self-evaluating literal (number, boolean, string)."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable reference."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Var({self.name})"
+
+
+@dataclass(frozen=True)
+class Quote(Expr):
+    """A quoted datum; evaluates to the datum (lists become tuples)."""
+
+    datum: Any
+
+
+@dataclass(frozen=True)
+class Lambda(Expr):
+    """An anonymous function abstraction."""
+
+    params: Tuple[str, ...]
+    body: Expr
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    """Conditional; only the selected branch is evaluated."""
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    """Parallel ``let``: all binding expressions are independent."""
+
+    names: Tuple[str, ...]
+    bindings: Tuple[Expr, ...]
+    body: Expr
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Short-circuit conjunction; empty ``(and)`` is ``#t``."""
+
+    operands: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Short-circuit disjunction; empty ``(or)`` is ``#f``."""
+
+    operands: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Application.  If the operator evaluates to a global function, the
+    distributed evaluator spawns the application as a child task."""
+
+    fn: Expr
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Local(Expr):
+    """Application forced to evaluate inside the current task (no spawn)."""
+
+    fn: Expr
+    args: Tuple[Expr, ...]
+
+
+def _quote_datum(form: Any) -> Any:
+    """Convert a parsed quoted form into a runtime datum (lists→tuples)."""
+    if isinstance(form, list):
+        return tuple(_quote_datum(f) for f in form)
+    return form
+
+
+def _params_of(form: Any) -> Tuple[str, ...]:
+    if not isinstance(form, list) or not all(isinstance(p, Symbol) for p in form):
+        raise ParseError(f"malformed parameter list: {form!r}")
+    names = tuple(str(p) for p in form)
+    if len(set(names)) != len(names):
+        raise ParseError(f"duplicate parameter in {names}")
+    return names
+
+
+def expr_from_form(form: Any) -> Expr:
+    """Convert a parsed s-expression into an :class:`Expr`."""
+    if isinstance(form, Symbol):
+        return Var(str(form))
+    if isinstance(form, (int, float, bool, str)):
+        return Lit(form)
+    if not isinstance(form, list):
+        raise ParseError(f"cannot compile form: {form!r}")
+    if not form:
+        raise ParseError("empty application ()")
+
+    head = form[0]
+    if isinstance(head, Symbol):
+        name = str(head)
+        if name == "quote":
+            if len(form) != 2:
+                raise ParseError("quote takes exactly one datum")
+            return Quote(_quote_datum(form[1]))
+        if name == "lambda":
+            if len(form) != 3:
+                raise ParseError("lambda takes a parameter list and one body")
+            return Lambda(_params_of(form[1]), expr_from_form(form[2]))
+        if name == "if":
+            if len(form) != 4:
+                raise ParseError("if takes exactly condition, then, else")
+            return If(
+                expr_from_form(form[1]),
+                expr_from_form(form[2]),
+                expr_from_form(form[3]),
+            )
+        if name == "let":
+            if len(form) != 3 or not isinstance(form[1], list):
+                raise ParseError("let takes a binding list and one body")
+            names = []
+            exprs = []
+            for binding in form[1]:
+                if (
+                    not isinstance(binding, list)
+                    or len(binding) != 2
+                    or not isinstance(binding[0], Symbol)
+                ):
+                    raise ParseError(f"malformed let binding: {binding!r}")
+                names.append(str(binding[0]))
+                exprs.append(expr_from_form(binding[1]))
+            if len(set(names)) != len(names):
+                raise ParseError(f"duplicate let binding in {names}")
+            return Let(tuple(names), tuple(exprs), expr_from_form(form[2]))
+        if name == "and":
+            return And(tuple(expr_from_form(f) for f in form[1:]))
+        if name == "or":
+            return Or(tuple(expr_from_form(f) for f in form[1:]))
+        if name == "local":
+            if len(form) < 2:
+                raise ParseError("local takes a function and arguments")
+            return Local(
+                expr_from_form(form[1]),
+                tuple(expr_from_form(f) for f in form[2:]),
+            )
+
+    return App(expr_from_form(form[0]), tuple(expr_from_form(f) for f in form[1:]))
+
+
+def count_nodes(expr: Expr) -> int:
+    """Number of AST nodes in ``expr`` (used by cost accounting and tests)."""
+    if isinstance(expr, (Lit, Var, Quote)):
+        return 1
+    if isinstance(expr, Lambda):
+        return 1 + count_nodes(expr.body)
+    if isinstance(expr, If):
+        return 1 + count_nodes(expr.cond) + count_nodes(expr.then) + count_nodes(expr.orelse)
+    if isinstance(expr, Let):
+        return 1 + sum(count_nodes(b) for b in expr.bindings) + count_nodes(expr.body)
+    if isinstance(expr, (And, Or)):
+        return 1 + sum(count_nodes(o) for o in expr.operands)
+    if isinstance(expr, (App, Local)):
+        return 1 + count_nodes(expr.fn) + sum(count_nodes(a) for a in expr.args)
+    raise TypeError(f"unknown expression node: {expr!r}")

@@ -1,0 +1,262 @@
+"""Primitive functions of the applicative language.
+
+Primitives always evaluate inside the current task (they are never spawned)
+and are all pure.  Each primitive records a nominal *cost* in reduction
+steps, which the simulator charges to the executing processor; by default
+every primitive costs one step except the few marked otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import ArityError, EvalError, TypeMismatchError
+from repro.lang.values import Symbol, is_list, show, value_equal
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """A named builtin: ``fn`` maps evaluated arguments to a value."""
+
+    name: str
+    arity: int  # -1 means variadic
+    fn: Callable[..., Any]
+    cost: int = 1
+
+    def apply(self, args: Tuple[Any, ...]) -> Any:
+        if self.arity >= 0 and len(args) != self.arity:
+            raise ArityError(self.name, self.arity, len(args))
+        return self.fn(*args)
+
+    def __repr__(self) -> str:
+        return f"<primitive {self.name}>"
+
+
+def _num(name: str, value: Any) -> Any:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeMismatchError(f"{name}: expected a number, got {show(value)}")
+    return value
+
+
+def _int(name: str, value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeMismatchError(f"{name}: expected an integer, got {show(value)}")
+    return value
+
+
+def _lst(name: str, value: Any) -> tuple:
+    if not is_list(value):
+        raise TypeMismatchError(f"{name}: expected a list, got {show(value)}")
+    return value
+
+
+def _add(*args: Any) -> Any:
+    total: Any = 0
+    for a in args:
+        total = total + _num("+", a)
+    return total
+
+
+def _sub(*args: Any) -> Any:
+    if not args:
+        raise ArityError("-", 1, 0)
+    if len(args) == 1:
+        return -_num("-", args[0])
+    total = _num("-", args[0])
+    for a in args[1:]:
+        total = total - _num("-", a)
+    return total
+
+
+def _mul(*args: Any) -> Any:
+    total: Any = 1
+    for a in args:
+        total = total * _num("*", a)
+    return total
+
+
+def _div(a: Any, b: Any) -> Any:
+    a = _num("/", a)
+    b = _num("/", b)
+    if b == 0:
+        raise EvalError("/: division by zero")
+    if isinstance(a, int) and isinstance(b, int) and a % b == 0:
+        return a // b
+    return a / b
+
+
+def _quotient(a: Any, b: Any) -> int:
+    a, b = _int("quotient", a), _int("quotient", b)
+    if b == 0:
+        raise EvalError("quotient: division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _remainder(a: Any, b: Any) -> int:
+    a, b = _int("remainder", a), _int("remainder", b)
+    if b == 0:
+        raise EvalError("remainder: division by zero")
+    return a - _quotient(a, b) * b
+
+
+def _modulo(a: Any, b: Any) -> int:
+    a, b = _int("modulo", a), _int("modulo", b)
+    if b == 0:
+        raise EvalError("modulo: division by zero")
+    return a % b
+
+
+def _cmp_chain(name: str, op: Callable[[Any, Any], bool], *args: Any) -> bool:
+    if len(args) < 2:
+        raise ArityError(name, 2, len(args))
+    vals = [_num(name, a) for a in args]
+    return all(op(x, y) for x, y in zip(vals, vals[1:]))
+
+
+def _cons(head: Any, tail: Any) -> tuple:
+    return (head, *_lst("cons", tail))
+
+
+def _car(lst: Any) -> Any:
+    lst = _lst("car", lst)
+    if not lst:
+        raise EvalError("car: empty list")
+    return lst[0]
+
+
+def _cdr(lst: Any) -> tuple:
+    lst = _lst("cdr", lst)
+    if not lst:
+        raise EvalError("cdr: empty list")
+    return lst[1:]
+
+
+def _nth(lst: Any, i: Any) -> Any:
+    lst = _lst("nth", lst)
+    i = _int("nth", i)
+    if not 0 <= i < len(lst):
+        raise EvalError(f"nth: index {i} out of range for list of length {len(lst)}")
+    return lst[i]
+
+
+def _append(*lists: Any) -> tuple:
+    out: tuple = ()
+    for lst in lists:
+        out = out + _lst("append", lst)
+    return out
+
+
+def _range(a: Any, b: Any) -> tuple:
+    return tuple(range(_int("range", a), _int("range", b)))
+
+
+def _take(lst: Any, n: Any) -> tuple:
+    return _lst("take", lst)[: _int("take", n)]
+
+
+def _drop(lst: Any, n: Any) -> tuple:
+    return _lst("drop", lst)[_int("drop", n):]
+
+
+def _expt(a: Any, b: Any) -> Any:
+    a, b = _num("expt", a), _num("expt", b)
+    try:
+        return a**b
+    except (OverflowError, ValueError) as exc:
+        raise EvalError(f"expt: {exc}") from exc
+
+
+def _sqrt(a: Any) -> float:
+    a = _num("sqrt", a)
+    if a < 0:
+        raise EvalError("sqrt: negative operand")
+    return math.sqrt(a)
+
+
+def _not(a: Any) -> bool:
+    return a is False
+
+
+def _work(n: Any) -> int:
+    """Busy-work marker: identity on n, but carries cost n (see below)."""
+    return _int("work", n)
+
+
+_PRIMS: Dict[str, Primitive] = {}
+
+
+def _register(name: str, arity: int, fn: Callable[..., Any], cost: int = 1) -> None:
+    if name in _PRIMS:
+        raise ValueError(f"duplicate primitive {name!r}")
+    _PRIMS[name] = Primitive(name, arity, fn, cost)
+
+
+_register("+", -1, _add)
+_register("-", -1, _sub)
+_register("*", -1, _mul)
+_register("/", 2, _div)
+_register("quotient", 2, _quotient)
+_register("remainder", 2, _remainder)
+_register("modulo", 2, _modulo)
+_register("abs", 1, lambda a: abs(_num("abs", a)))
+_register("min", -1, lambda *a: min(_num("min", x) for x in a))
+_register("max", -1, lambda *a: max(_num("max", x) for x in a))
+_register("expt", 2, _expt, cost=2)
+_register("sqrt", 1, _sqrt, cost=2)
+_register("floor", 1, lambda a: math.floor(_num("floor", a)))
+_register("ceiling", 1, lambda a: math.ceil(_num("ceiling", a)))
+
+_register("=", -1, lambda *a: _cmp_chain("=", lambda x, y: x == y, *a))
+_register("<", -1, lambda *a: _cmp_chain("<", lambda x, y: x < y, *a))
+_register(">", -1, lambda *a: _cmp_chain(">", lambda x, y: x > y, *a))
+_register("<=", -1, lambda *a: _cmp_chain("<=", lambda x, y: x <= y, *a))
+_register(">=", -1, lambda *a: _cmp_chain(">=", lambda x, y: x >= y, *a))
+_register("not", 1, _not)
+_register("eq?", 2, lambda a, b: value_equal(a, b))
+_register("equal?", 2, lambda a, b: value_equal(a, b))
+_register("zero?", 1, lambda a: _num("zero?", a) == 0)
+_register("even?", 1, lambda a: _int("even?", a) % 2 == 0)
+_register("odd?", 1, lambda a: _int("odd?", a) % 2 == 1)
+
+_register("cons", 2, _cons)
+_register("car", 1, _car)
+_register("cdr", 1, _cdr)
+_register("list", -1, lambda *a: tuple(a))
+_register("length", 1, lambda lst: len(_lst("length", lst)))
+_register("null?", 1, lambda lst: is_list(lst) and len(lst) == 0)
+_register("pair?", 1, lambda lst: is_list(lst) and len(lst) > 0)
+_register("list?", 1, is_list)
+_register("append", -1, _append)
+_register("reverse", 1, lambda lst: tuple(reversed(_lst("reverse", lst))))
+_register("nth", 2, _nth)
+_register("range", 2, _range)
+_register("take", 2, _take)
+_register("drop", 2, _drop)
+
+_register("number?", 1, lambda a: not isinstance(a, bool) and isinstance(a, (int, float)))
+_register("boolean?", 1, lambda a: isinstance(a, bool))
+_register("symbol?", 1, lambda a: isinstance(a, Symbol))
+_register("string?", 1, lambda a: isinstance(a, str) and not isinstance(a, Symbol))
+
+# `work` is the knob synthetic workloads use to give a task nonzero service
+# time without changing its value; its cost is charged dynamically by the
+# interpreters (cost = max(1, n)), not via the static `cost` field.
+_register("work", 1, _work)
+
+PRIMITIVES: Dict[str, Primitive] = dict(_PRIMS)
+
+
+def primitive_cost(prim: Primitive, args: Tuple[Any, ...]) -> int:
+    """Dynamic cost of applying ``prim`` to ``args`` in reduction steps."""
+    if prim.name == "work":
+        n = args[0] if args and isinstance(args[0], int) else 1
+        return max(1, n)
+    return prim.cost
+
+
+def lookup_primitive(name: str) -> Primitive | None:
+    """Return the primitive named ``name`` or None."""
+    return PRIMITIVES.get(name)

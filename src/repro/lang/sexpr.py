@@ -1,0 +1,176 @@
+"""S-expression reader.
+
+Turns source text into nested Python structures: ``int``/``float`` for
+numbers, ``bool`` for ``#t``/``#f``, ``str`` for string literals,
+:class:`~repro.lang.values.Symbol` for identifiers, and ``list`` for
+parenthesised forms.  ``'x`` is sugar for ``(quote x)``.
+
+The reader is line/column aware so parse errors point at the offending
+token, and it is total: any input either parses or raises
+:class:`~repro.errors.ParseError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List
+
+from repro.errors import ParseError
+from repro.lang.values import Symbol
+
+_DELIMS = "()'; \t\r\n"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens from ``source``, skipping whitespace and ``;`` comments."""
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+        elif ch in " \t\r":
+            col += 1
+            i += 1
+        elif ch == ";":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif ch in "()'":
+            yield Token(ch, line, col)
+            col += 1
+            i += 1
+        elif ch == '"':
+            start_line, start_col = line, col
+            j = i + 1
+            chars: List[str] = []
+            while True:
+                if j >= n:
+                    raise ParseError("unterminated string literal", start_line, start_col)
+                cj = source[j]
+                if cj == '"':
+                    break
+                if cj == "\\":
+                    if j + 1 >= n:
+                        raise ParseError("unterminated escape", start_line, start_col)
+                    esc = source[j + 1]
+                    chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    j += 2
+                else:
+                    if cj == "\n":
+                        line += 1
+                        col = 0
+                    chars.append(cj)
+                    j += 1
+            yield Token('"' + "".join(chars), start_line, start_col)
+            col += j + 1 - i
+            i = j + 1
+        else:
+            start = i
+            start_col = col
+            while i < n and source[i] not in _DELIMS and source[i] != '"':
+                i += 1
+                col += 1
+            yield Token(source[start:i], line, start_col)
+
+
+def _atom(token: Token) -> Any:
+    """Convert a non-paren token into a Python value."""
+    text = token.text
+    if text.startswith('"'):
+        return text[1:]
+    if text == "#t" or text == "true":
+        return True
+    if text == "#f" or text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return Symbol(text)
+
+
+class _Reader:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return tok
+
+    def read(self) -> Any:
+        tok = self.next()
+        if tok.text == "(":
+            items: List[Any] = []
+            while True:
+                nxt = self.peek()
+                if nxt is None:
+                    raise ParseError("unbalanced '('", tok.line, tok.column)
+                if nxt.text == ")":
+                    self.next()
+                    return items
+                items.append(self.read())
+        if tok.text == ")":
+            raise ParseError("unbalanced ')'", tok.line, tok.column)
+        if tok.text == "'":
+            return [Symbol("quote"), self.read()]
+        return _atom(tok)
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+
+def parse_many(source: str) -> List[Any]:
+    """Parse all top-level forms in ``source``."""
+    reader = _Reader(list(tokenize(source)))
+    forms: List[Any] = []
+    while not reader.at_end():
+        forms.append(reader.read())
+    return forms
+
+
+def parse_one(source: str) -> Any:
+    """Parse exactly one top-level form; extra input is an error."""
+    forms = parse_many(source)
+    if len(forms) != 1:
+        raise ParseError(f"expected exactly one form, found {len(forms)}")
+    return forms[0]
+
+
+def unparse(form: Any) -> str:
+    """Render a parsed form back to source text (inverse of the reader)."""
+    if isinstance(form, list):
+        return "(" + " ".join(unparse(f) for f in form) + ")"
+    if isinstance(form, bool):
+        return "#t" if form else "#f"
+    if isinstance(form, Symbol):
+        return str(form)
+    if isinstance(form, str):
+        escaped = form.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    return repr(form)

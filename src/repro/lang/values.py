@@ -1,0 +1,112 @@
+"""Runtime values of the applicative language.
+
+All values are immutable:
+
+- numbers are Python ``int``/``float``; booleans are ``bool``;
+- strings are Python ``str``;
+- symbols are :class:`Symbol` (a ``str`` subclass, so they hash and compare
+  like their spelling but remain distinguishable from string literals);
+- lists are Python tuples (``cons`` prepends, ``cdr`` is the tail tuple);
+- functions are :class:`Closure` (lambda over an environment) or
+  :class:`GlobalFunction` (a named top-level definition — the unit of task
+  spawning in distributed evaluation).
+
+Immutability is not a style preference here: it is the paper's
+*determinacy* assumption (§2.1).  A task packet captures a function value
+and argument values; because none of those can be mutated afterwards, any
+re-activation of the packet yields the same answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lang.astnodes import Expr
+    from repro.lang.env import Env
+
+
+class Symbol(str):
+    """An interned-ish identifier; compares equal to its spelling."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"Symbol({str.__repr__(self)})"
+
+
+@dataclass(frozen=True)
+class Closure:
+    """A lambda value: parameters, body, and the captured environment."""
+
+    params: Tuple[str, ...]
+    body: "Expr"
+    env: "Env"
+    name: str = "<lambda>"
+
+    def __repr__(self) -> str:
+        return f"<closure {self.name}/{len(self.params)}>"
+
+
+@dataclass(frozen=True)
+class GlobalFunction:
+    """A reference to a named top-level definition.
+
+    Applying a :class:`GlobalFunction` is the spawn point of distributed
+    evaluation: the application becomes a child task whose packet carries
+    the function *name* plus evaluated arguments — exactly the "function and
+    argument information" the paper says a parent retains as a functional
+    checkpoint (§2).
+    """
+
+    name: str
+    arity: int
+
+    def __repr__(self) -> str:
+        return f"<global {self.name}/{self.arity}>"
+
+
+def is_list(value: object) -> bool:
+    """True if ``value`` is a language-level list."""
+    return isinstance(value, tuple)
+
+
+def is_callable_value(value: object) -> bool:
+    """True if ``value`` may appear in operator position."""
+    return isinstance(value, (Closure, GlobalFunction))
+
+
+def show(value: object) -> str:
+    """Render a runtime value in the language's surface syntax."""
+    if isinstance(value, bool):
+        return "#t" if value else "#f"
+    if isinstance(value, tuple):
+        return "(" + " ".join(show(v) for v in value) + ")"
+    if isinstance(value, Symbol):
+        return str(value)
+    if isinstance(value, str):
+        return f'"{value}"'
+    return repr(value)
+
+
+def value_equal(a: object, b: object) -> bool:
+    """Structural equality used by ``equal?`` and duplicate-result checks.
+
+    Python's ``==`` conflates ``True`` with ``1``; language equality keeps
+    booleans distinct from numbers, which matters when recovery compares a
+    recomputed result against a salvaged one.
+    """
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool) and a is b
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(value_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, tuple) or isinstance(b, tuple):
+        return False
+    return type(a) is type(b) and a == b or (
+        isinstance(a, (int, float))
+        and isinstance(b, (int, float))
+        and not isinstance(a, bool)
+        and not isinstance(b, bool)
+        and a == b
+    )

@@ -1,0 +1,30 @@
+"""The distributed machine simulator (the Rediflow stand-in).
+
+A :class:`~repro.sim.machine.Machine` is a set of single-CPU processors
+(:mod:`repro.sim.node`) joined by a topology-aware network
+(:mod:`repro.sim.topology`, :mod:`repro.sim.network`), driven by a
+deterministic discrete-event loop (:mod:`repro.sim.events`).  Tasks
+(:mod:`repro.sim.task`) execute pluggable behaviors
+(:mod:`repro.sim.behavior`): the applicative-language evaluator or a
+synthetic call-tree workload.  Load balancing is dynamic
+(:mod:`repro.sim.loadbalance`, gradient model by default), failures are
+injected by schedule (:mod:`repro.sim.failure`), and every run yields
+metrics (:mod:`repro.sim.metrics`) and a structured trace
+(:mod:`repro.sim.trace`).
+
+Fault-tolerance policies from :mod:`repro.core` plug into the node
+protocol via narrow hook points; the simulator itself is policy-agnostic.
+"""
+
+from repro.sim.failure import Fault, FaultSchedule
+from repro.sim.machine import Machine, RunResult
+from repro.sim.workload import InterpWorkload, TreeWorkload
+
+__all__ = [
+    "Fault",
+    "FaultSchedule",
+    "Machine",
+    "RunResult",
+    "InterpWorkload",
+    "TreeWorkload",
+]

@@ -1,0 +1,128 @@
+"""Deterministic discrete-event queue.
+
+Events are ``(time, priority, seq, action)`` tuples in a binary heap.
+``seq`` is a monotone tie-breaker, so events with equal time and priority
+fire in schedule order — this removes heap nondeterminism and makes every
+run exactly reproducible.
+
+Actions are zero-argument callables.  A short ``label`` accompanies each
+event for traces and stall diagnostics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationBudgetError
+
+
+#: Priorities order simultaneous events: deliver messages before running
+#: task slices so a result arriving "now" is visible to the slice.
+PRIORITY_MESSAGE = 0
+PRIORITY_CONTROL = 1
+PRIORITY_RUN = 2
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """A deterministic event heap with cancellation support."""
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self._seq = 0
+        self.now: float = 0.0
+        self.events_processed = 0
+
+    def schedule(
+        self,
+        time: float,
+        action: Callable[[], None],
+        label: str = "",
+        priority: int = PRIORITY_CONTROL,
+    ) -> _Entry:
+        """Schedule ``action`` at absolute ``time``; returns a handle that
+        can be passed to :meth:`cancel`."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now} ({label})"
+            )
+        entry = _Entry(time, priority, self._seq, action, label)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def after(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        label: str = "",
+        priority: int = PRIORITY_CONTROL,
+    ) -> _Entry:
+        """Schedule ``action`` ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay} for event {label!r}")
+        return self.schedule(self.now + delay, action, label, priority)
+
+    @staticmethod
+    def cancel(entry: _Entry) -> None:
+        """Cancel a scheduled event (it is skipped when popped)."""
+        entry.cancelled = True
+
+    def is_empty(self) -> bool:
+        self._drop_cancelled_head()
+        return not self._heap
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> Optional[str]:
+        """Pop and run the next event; returns its label, or None if empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        entry = heapq.heappop(self._heap)
+        self.now = entry.time
+        self.events_processed += 1
+        entry.action()
+        return entry.label or "<event>"
+
+    def run(
+        self,
+        until: Callable[[], bool],
+        max_events: int = 2_000_000,
+        max_time: float = float("inf"),
+    ) -> None:
+        """Process events until ``until()`` is true or the queue drains.
+
+        Raises :class:`SimulationBudgetError` when budgets are exceeded —
+        a drained queue with ``until()`` false is left for the caller to
+        diagnose (it distinguishes stalls from budget blowups).
+        """
+        start_count = self.events_processed
+        while not until():
+            if self.events_processed - start_count >= max_events:
+                raise SimulationBudgetError(
+                    f"exceeded event budget of {max_events} events at t={self.now}"
+                )
+            if self.now > max_time:
+                raise SimulationBudgetError(
+                    f"exceeded time budget of {max_time} (now {self.now})"
+                )
+            if self.step() is None:
+                return
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

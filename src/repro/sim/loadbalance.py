@@ -1,0 +1,182 @@
+"""Dynamic task placement (load balancing).
+
+The paper requires a *dynamic allocation strategy* for cheap recovery
+(§3.3): recovery tasks are placed exactly like original tasks, so no
+linkage surgery is needed and no balance is disturbed.  The default is the
+gradient model of Lin & Keller's companion paper [10]: task packets flow
+from loaded processors toward the nearest idle processor, following a
+"gradient" field that idle processors anchor at zero.
+
+Schedulers implement ``place(packet, origin, exclude) -> node id``.  The
+machine then charges hop latency from the origin to the chosen executor.
+
+Alternatives (for the §3.3 ablation):
+
+- ``random``      — uniform over alive processors (seeded stream);
+- ``round_robin`` — cyclic over alive processors;
+- ``local``       — always the spawning processor (no distribution);
+- ``static``      — stamp-hash placement, the static-allocation model the
+  paper contrasts against (placement is a pure function of the task's
+  stamp, recomputed over surviving nodes after a failure).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.core.packets import TaskPacket
+from repro.errors import SchedulingError
+from repro.sim.topology import Topology
+from repro.util.rng import RngHub
+
+
+class Scheduler:
+    """Base class: knows the topology and how to observe node load."""
+
+    name = "base"
+
+    def __init__(self, topology: Topology, rng: RngHub):
+        self.topology = topology
+        self.rng = rng
+        self.machine = None  # bound by Machine
+
+    def attach(self, machine) -> None:
+        self.machine = machine
+
+    # -- helpers --------------------------------------------------------------
+
+    def _alive(self, exclude: Set[int]) -> List[int]:
+        nodes = [
+            n.id
+            for n in self.machine.processors()
+            if n.alive and n.id not in exclude
+        ]
+        if not nodes:
+            raise SchedulingError("no alive processors available for placement")
+        return nodes
+
+    def _load(self, node_id: int) -> int:
+        """Observed load: queued + executing task count."""
+        return self.machine.node(node_id).load()
+
+    # -- interface --------------------------------------------------------------
+
+    def place(self, packet: TaskPacket, origin: int, exclude: Set[int]) -> int:
+        raise NotImplementedError
+
+
+class GradientScheduler(Scheduler):
+    """Gradient-model placement [10].
+
+    The gradient of a processor is its hop distance to the nearest idle
+    processor (idle = no queued or running task).  A loaded origin sends
+    the packet down the gradient to that idle processor; an idle origin
+    keeps the task.  When no processor is idle, the packet goes to the
+    least-loaded neighbour (pressure diffusion), or stays home when the
+    origin is no worse than its neighbours.
+
+    This is a *functional* model of the gradient algorithm: the simulator
+    reads current queue lengths directly instead of exchanging gradient
+    update messages.  The placement decisions match a converged gradient
+    field; the protocols under study are insensitive to the (small)
+    convergence lag, and the ablation in benchmarks compares schedulers,
+    not gradient propagation dynamics.
+    """
+
+    name = "gradient"
+
+    def place(self, packet: TaskPacket, origin: int, exclude: Set[int]) -> int:
+        alive = self._alive(exclude)
+        if origin in alive and self._load(origin) == 0:
+            return origin
+        idle = [n for n in alive if self._load(n) == 0]
+        if idle:
+            # nearest idle processor; ties broken by node id (deterministic)
+            if origin in alive or origin == -1:
+                src = origin if origin != -1 else idle[0]
+            else:
+                src = idle[0]
+            return min(idle, key=lambda n: (self.topology.hops(src, n), n))
+        # no idle processor: diffuse toward the least-loaded neighbour
+        if origin in alive:
+            neighbours = [n for n in self.topology.neighbours(origin) if n in alive]
+            candidates = neighbours + [origin]
+        else:
+            candidates = alive
+        return min(candidates, key=lambda n: (self._load(n), n))
+
+
+class RandomScheduler(Scheduler):
+    """Uniform placement over alive processors (seeded)."""
+
+    name = "random"
+
+    def place(self, packet: TaskPacket, origin: int, exclude: Set[int]) -> int:
+        return self.rng.choice("placement", self._alive(exclude))
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cyclic placement over alive processors."""
+
+    name = "round_robin"
+
+    def __init__(self, topology: Topology, rng: RngHub):
+        super().__init__(topology, rng)
+        self._counter = 0
+
+    def place(self, packet: TaskPacket, origin: int, exclude: Set[int]) -> int:
+        alive = self._alive(exclude)
+        chosen = alive[self._counter % len(alive)]
+        self._counter += 1
+        return chosen
+
+
+class LocalScheduler(Scheduler):
+    """Keep every task on its spawning processor (no distribution).
+
+    The origin may be the super-root (id -1) or a dead processor; those
+    fall back to the first alive processor.
+    """
+
+    name = "local"
+
+    def place(self, packet: TaskPacket, origin: int, exclude: Set[int]) -> int:
+        alive = self._alive(exclude)
+        return origin if origin in alive else alive[0]
+
+
+class StaticScheduler(Scheduler):
+    """Stamp-hash placement: the static-allocation model of §3.3.
+
+    Placement is a pure function of the task's level stamp over the set of
+    *currently alive* processors.  After a failure the hash re-maps the
+    dead processor's stamps onto survivors — the "reassignment" work the
+    paper notes static allocation must perform.
+    """
+
+    name = "static"
+
+    def place(self, packet: TaskPacket, origin: int, exclude: Set[int]) -> int:
+        alive = self._alive(exclude)
+        key = hash((packet.stamp.digits, packet.replica))
+        return alive[key % len(alive)]
+
+
+_SCHEDULERS = {
+    cls.name: cls
+    for cls in (
+        GradientScheduler,
+        RandomScheduler,
+        RoundRobinScheduler,
+        LocalScheduler,
+        StaticScheduler,
+    )
+}
+
+
+def make_scheduler(name: str, topology: Topology, rng: RngHub) -> Scheduler:
+    """Instantiate a scheduler by config name."""
+    cls = _SCHEDULERS.get(name)
+    if cls is None:
+        raise SchedulingError(f"unknown scheduler {name!r}")
+    return cls(topology, rng)

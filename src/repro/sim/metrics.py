@@ -1,0 +1,105 @@
+"""Run metrics.
+
+Counters are the quantitative face of the paper's claims: fault-free
+overhead (checkpoints recorded, packet copies held), recovery cost
+(reissues, wasted steps), and splice's benefit (salvaged results vs
+recomputed ones).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Metrics:
+    """Counters accumulated over one machine run."""
+
+    # Task lifecycle
+    tasks_spawned: int = 0
+    tasks_accepted: int = 0
+    tasks_completed: int = 0
+    tasks_aborted: int = 0
+    tasks_reissued: int = 0
+    twins_created: int = 0
+
+    # Work accounting (reduction steps)
+    steps_total: int = 0
+    steps_wasted: int = 0  # steps spent in instances that later aborted
+    steps_salvaged: int = 0  # steps whose results were spliced into twins
+
+    # Checkpointing
+    checkpoints_recorded: int = 0
+    checkpoints_dropped: int = 0
+    checkpoint_peak_held: int = 0
+
+    # Results
+    results_delivered: int = 0
+    results_duplicate: int = 0
+    results_ignored: int = 0
+    results_orphan_rerouted: int = 0
+    results_relayed: int = 0
+    results_salvaged: int = 0
+
+    # Failure handling
+    failures_injected: int = 0
+    failures_detected: int = 0
+    delivery_failures: int = 0
+
+    # Replication / voting
+    votes_recorded: int = 0
+    votes_decided: int = 0
+
+    # Messaging
+    messages_by_type: Counter = field(default_factory=Counter)
+    message_hops: int = 0
+
+    # Per-node busy time
+    busy_time: Dict[int, float] = field(default_factory=dict)
+
+    # Timeline
+    first_failure_time: Optional[float] = None
+    first_detection_time: Optional[float] = None
+    recovery_started_time: Optional[float] = None
+
+    def record_message(self, type_name: str, hops: int) -> None:
+        self.messages_by_type[type_name] += 1
+        self.message_hops += hops
+
+    def add_busy(self, node: int, duration: float) -> None:
+        self.busy_time[node] = self.busy_time.get(node, 0.0) + duration
+
+    @property
+    def messages_total(self) -> int:
+        return sum(self.messages_by_type.values())
+
+    def utilization(self, makespan: float) -> Dict[int, float]:
+        """Busy fraction per node over the run."""
+        if makespan <= 0:
+            return {n: 0.0 for n in self.busy_time}
+        return {n: t / makespan for n, t in sorted(self.busy_time.items())}
+
+    def detection_latency(self) -> Optional[float]:
+        """Failure-to-detection delay for the first injected fault."""
+        if self.first_failure_time is None or self.first_detection_time is None:
+            return None
+        return self.first_detection_time - self.first_failure_time
+
+    def summary_rows(self) -> list:
+        """Rows for an ASCII summary table (label, value)."""
+        return [
+            ("tasks spawned", self.tasks_spawned),
+            ("tasks completed", self.tasks_completed),
+            ("tasks aborted", self.tasks_aborted),
+            ("tasks reissued", self.tasks_reissued),
+            ("twins created", self.twins_created),
+            ("steps total", self.steps_total),
+            ("steps wasted", self.steps_wasted),
+            ("results salvaged", self.results_salvaged),
+            ("checkpoints recorded", self.checkpoints_recorded),
+            ("checkpoint peak held", self.checkpoint_peak_held),
+            ("messages total", self.messages_total),
+            ("message hops", self.message_hops),
+        ]

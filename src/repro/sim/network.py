@@ -1,0 +1,91 @@
+"""Message transport.
+
+Delivery latency is ``hops × hop_latency + jitter``.  The failure
+semantics implement the paper's §1 assumptions:
+
+- a failed processor transmits nothing (messages it "sent" after death do
+  not exist — senders must be alive at send time);
+- messages *in flight* to a processor that dies before delivery are lost,
+  and the sender learns of the loss after ``detection_timeout`` (modelling
+  the paper's "coding or timeout mechanisms" for network problems);
+- an unreachable node is treated as faulty by the sender.
+
+Sends to the super-root (node -1) never fail.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.packets import SUPER_ROOT_NODE
+from repro.sim.events import PRIORITY_CONTROL, PRIORITY_MESSAGE, EventQueue
+from repro.sim.messages import Message
+from repro.sim.topology import Topology
+from repro.util.rng import RngHub
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+
+class Network:
+    """Topology-aware transport with death-aware delivery."""
+
+    def __init__(self, topology: Topology, queue: EventQueue, rng: RngHub, cost):
+        self.topology = topology
+        self.queue = queue
+        self.rng = rng
+        self.cost = cost
+        self.machine: "Machine" = None  # bound by Machine
+
+    def attach(self, machine: "Machine") -> None:
+        self.machine = machine
+
+    def latency(self, src: int, dst: int) -> float:
+        hops = self.topology.hops(src, dst)
+        base = max(1, hops) * self.cost.hop_latency
+        if self.cost.latency_jitter > 0:
+            base += self.rng.uniform("latency", 0.0, self.cost.latency_jitter)
+        return base
+
+    def send(self, msg: Message) -> None:
+        """Send ``msg``; delivery or failure-notification is scheduled.
+
+        The sender must be alive (dead processors transmit nothing); the
+        machine's node code guarantees this, and we assert it.
+        """
+        machine = self.machine
+        sender = machine.node(msg.src)
+        assert sender.alive, f"dead node {msg.src} attempted to send {msg.describe()}"
+
+        hops = self.topology.hops(msg.src, msg.dst)
+        machine.metrics.record_message(type(msg).__name__, hops)
+        delay = self.latency(msg.src, msg.dst)
+
+        def deliver() -> None:
+            dst = machine.node(msg.dst)
+            if dst.alive:
+                dst.on_message(msg)
+            else:
+                self._notify_loss(msg)
+
+        self.queue.after(
+            delay, deliver, label=f"deliver:{type(msg).__name__}", priority=PRIORITY_MESSAGE
+        )
+
+    def _notify_loss(self, msg: Message) -> None:
+        """The destination was dead at delivery time: after the detection
+        timeout, tell the sender (if still alive)."""
+        machine = self.machine
+        machine.metrics.delivery_failures += 1
+
+        def notify() -> None:
+            sender = machine.node(msg.src)
+            if sender.alive:
+                sender.on_delivery_failed(msg, msg.dst)
+
+        self.queue.after(
+            self.cost.detection_timeout,
+            notify,
+            label=f"delivery-failed:{type(msg).__name__}",
+            priority=PRIORITY_CONTROL,
+        )

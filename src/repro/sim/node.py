@@ -1,0 +1,666 @@
+"""The processor: task execution plus the §4.2 packet protocol.
+
+Each node owns a run queue of ready task instances and executes one at a
+time (run-to-block).  The message loop mirrors the paper's protocol:
+
+    LOOP CASE received packet OF
+      forward result:  interpret the level stamp (child / grandchild / other)
+      task packet:     execute the task; DEMAND children; on completion
+                       send the result to the parent; if the parent is
+                       dead, notify the grandparent
+      error-detection: respawn the topmost offspring, establish relays
+    ENDCASE ENDLOOP
+
+plus the implementation-level ``PlacementAck`` that moves a spawn record
+from transient state *b* to state *c* (Figure 6).
+
+All recovery decisions are delegated to the attached
+:class:`~repro.core.policy.FaultTolerance` hooks; the node provides the
+mechanics (records, reissue, result matching, abort) they compose.
+
+Message handling is charged zero processor time: Rediflow nodes paired the
+reduction engine with an autonomous switching unit, so protocol
+bookkeeping overlaps computation.  Spawn/checkpoint *are* charged, to the
+spawning task's slice.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.packets import SUPER_ROOT_NODE, ReturnAddress, TaskPacket
+from repro.core.stamps import LevelStamp
+from repro.errors import ProtocolError
+from repro.lang.values import value_equal
+from repro.sim.behavior import Advance, Demand
+from repro.sim.events import PRIORITY_RUN
+from repro.sim.messages import (
+    FailureNotice,
+    Message,
+    PlacementAck,
+    ResultMsg,
+    TaskPacketMsg,
+)
+from repro.sim.task import SpawnRecord, SpawnState, TaskInstance, TaskStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+
+class Node:
+    """One processor of the machine (or the super-root when ``id == -1``)."""
+
+    def __init__(self, node_id: int, machine: "Machine"):
+        self.id = node_id
+        self.machine = machine
+        self.alive = True
+        #: All local instances by uid (kept after completion for accounting).
+        self.instances: Dict[int, TaskInstance] = {}
+        self.run_queue: deque[int] = deque()
+        self.current: Optional[int] = None  # uid of the executing instance
+        self.busy_until: float = 0.0
+        #: Packets routed here but not yet delivered; counted in load() so
+        #: a burst of simultaneous spawns spreads instead of piling onto
+        #: whichever node looked idle at the instant of the first choice.
+        self.inbound_pending: int = 0
+        #: Index of outstanding spawn records by child stamp (used by the
+        #: splice policy's grandchild lookup).  A stamp may be spawned by at
+        #: most one *live* local instance at a time.
+        self.spawn_index: Dict[LevelStamp, Tuple[int, SpawnRecord]] = {}
+        #: Processors this node knows to be dead.
+        self.known_dead: Set[int] = set()
+        self.ft_state = None  # policy-specific state, set by the machine
+
+    # -- conveniences -----------------------------------------------------------
+
+    @property
+    def queue(self):
+        return self.machine.queue
+
+    @property
+    def trace(self):
+        return self.machine.trace
+
+    @property
+    def metrics(self):
+        return self.machine.metrics
+
+    @property
+    def policy(self):
+        return self.machine.policy
+
+    @property
+    def cost(self):
+        return self.machine.config.cost
+
+    @property
+    def is_super_root(self) -> bool:
+        return self.id == SUPER_ROOT_NODE
+
+    def load(self) -> int:
+        """Queued, executing, and inbound task count (gradient pressure)."""
+        return (
+            len(self.run_queue)
+            + (1 if self.current is not None else 0)
+            + self.inbound_pending
+        )
+
+    def live_tasks(self) -> List[TaskInstance]:
+        return [
+            t
+            for t in self.instances.values()
+            if t.status in (TaskStatus.READY, TaskStatus.RUNNING, TaskStatus.SUSPENDED)
+        ]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def kill(self) -> None:
+        """Fail-silent crash: every local task and buffer is destroyed."""
+        self.alive = False
+        for task in self.live_tasks():
+            task.status = TaskStatus.ABORTED
+        self.run_queue.clear()
+        self.current = None
+
+    # -- message dispatch ---------------------------------------------------------
+
+    def on_message(self, msg: Message) -> None:
+        assert self.alive, "dead node received a message (network bug)"
+        if isinstance(msg, TaskPacketMsg):
+            self._handle_task_packet(msg)
+        elif isinstance(msg, ResultMsg):
+            self._handle_result(msg)
+        elif isinstance(msg, PlacementAck):
+            self._handle_ack(msg)
+        elif isinstance(msg, FailureNotice):
+            self.on_failure_notice(msg.dead_node)
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unknown message type: {msg!r}")
+
+    def on_delivery_failed(self, msg: Message, dead_node: int) -> None:
+        """The network reports a message of ours was undeliverable."""
+        self.metrics.delivery_failures += 1
+        self.trace.emit(
+            self.queue.now,
+            self.id,
+            "delivery_failed",
+            msg_type=type(msg).__name__,
+            dead=dead_node,
+        )
+        # An unreachable node is considered faulty (§1) — this doubles as a
+        # detection channel, typically faster than the detector service.
+        self.on_failure_notice(dead_node)
+        if isinstance(msg, ResultMsg):
+            self.policy.on_result_undeliverable(self, msg, dead_node)
+        elif isinstance(msg, TaskPacketMsg):
+            self.policy.on_packet_undeliverable(self, msg, dead_node)
+        # Undeliverable acks/notices need no action: the ack's information
+        # is re-derivable (the parent's timeout path covers it).
+
+    def on_failure_notice(self, dead_node: int) -> None:
+        """Error-detection entry point (idempotent per dead node)."""
+        if dead_node in self.known_dead or not self.alive:
+            return
+        self.known_dead.add(dead_node)
+        self.metrics.failures_detected += 1
+        if self.metrics.first_detection_time is None:
+            self.metrics.first_detection_time = self.queue.now
+        self.trace.emit(self.queue.now, self.id, "failure_detected", dead=dead_node)
+        self.policy.on_failure_detected(self, dead_node)
+
+    # -- task packets ----------------------------------------------------------------
+
+    def _handle_task_packet(self, msg: TaskPacketMsg) -> None:
+        if self.is_super_root:
+            raise ProtocolError("super-root must never receive task packets")
+        if self.policy.on_packet_received(self, msg):
+            return
+        self.accept_packet(msg.packet)
+
+    def accept_packet(self, packet: TaskPacket) -> TaskInstance:
+        """Enqueue a new task instance for this packet and ack the parent."""
+        if self.inbound_pending > 0:
+            self.inbound_pending -= 1
+        uid = self.machine.new_task_uid()
+        behavior = self.machine.workload.make_behavior(packet.work)
+        task = TaskInstance(uid, packet, self.id, behavior)
+        self.instances[uid] = task
+        self.machine.register_instance(task)
+        self.metrics.tasks_accepted += 1
+        self.trace.emit(
+            self.queue.now,
+            self.id,
+            "task_accepted",
+            stamp=str(packet.stamp),
+            uid=uid,
+            work=packet.work.describe(),
+        )
+        self._send_ack(packet, uid)
+        self._make_ready(task)
+        return task
+
+    def _send_ack(self, packet: TaskPacket, uid: int) -> None:
+        ack = PlacementAck(
+            src=self.id,
+            dst=packet.parent.node,
+            stamp=packet.stamp,
+            replica=packet.replica,
+            executor=self.id,
+            instance=uid,
+            parent_instance=packet.parent.instance,
+        )
+        if packet.parent.node == self.id:
+            self._handle_ack(ack)
+        else:
+            self.machine.network.send(ack)
+
+    def _make_ready(self, task: TaskInstance) -> None:
+        if task.status in (TaskStatus.COMPLETED, TaskStatus.ABORTED):
+            return
+        if task.status in (TaskStatus.READY, TaskStatus.RUNNING) and task.uid in self.run_queue:
+            return
+        if task.uid == self.current:
+            return
+        task.status = TaskStatus.READY
+        if task.uid not in self.run_queue:
+            self.run_queue.append(task.uid)
+        self._schedule_run()
+
+    def _schedule_run(self) -> None:
+        if not self.alive or self.current is not None or not self.run_queue:
+            return
+        at = max(self.queue.now, self.busy_until)
+        self.queue.schedule(
+            at, self._run_next, label=f"run:node{self.id}", priority=PRIORITY_RUN
+        )
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _run_next(self) -> None:
+        if not self.alive or self.current is not None:
+            return
+        while self.run_queue:
+            uid = self.run_queue.popleft()
+            task = self.instances.get(uid)
+            if task is not None and task.status == TaskStatus.READY:
+                break
+        else:
+            return
+        self.current = task.uid
+        task.status = TaskStatus.RUNNING
+        self.trace.emit(self.queue.now, self.id, "task_started", stamp=str(task.stamp), uid=task.uid)
+
+        slice_steps = 0
+        new_records: List[SpawnRecord] = []
+        while True:
+            delivered = task.pending_deliveries
+            task.pending_deliveries = {}
+            advance = task.behavior.advance(delivered)
+            slice_steps += advance.steps
+            task.steps_executed += advance.steps
+            self.metrics.steps_total += advance.steps
+            satisfied_locally = False
+            for demand in advance.demands:
+                if demand.digit in task.inherited_results:
+                    # Salvaged answer already present: the twin "will not
+                    # spawn C' because the answer is already there" (§4.1,
+                    # cases 4/5).
+                    value, sender_uid = task.inherited_results.pop(demand.digit)
+                    record = self._new_record(task, demand)
+                    record.executor = None
+                    record.fulfill(value)
+                    record.fulfilled_by = sender_uid
+                    task.pending_deliveries[demand.digit] = value
+                    self.metrics.results_salvaged += 1
+                    self.trace.emit(
+                        self.queue.now,
+                        self.id,
+                        "result_salvaged",
+                        stamp=str(record.child_stamp),
+                        uid=task.uid,
+                    )
+                    satisfied_locally = True
+                else:
+                    record = self._new_record(task, demand)
+                    new_records.append(record)
+            if advance.completed or advance.yielded:
+                self._finish_slice(task, slice_steps, new_records, advance)
+                return
+            if not satisfied_locally:
+                break
+        self._finish_slice(task, slice_steps, new_records, None)
+
+    def _new_record(self, task: TaskInstance, demand: Demand) -> SpawnRecord:
+        child_stamp = task.stamp.child(demand.digit)
+        if demand.digit in task.spawn_records:
+            raise ProtocolError(
+                f"duplicate demand for digit {demand.digit} in task {task.describe()}"
+            )
+        packet = TaskPacket(
+            stamp=child_stamp,
+            work=demand.work,
+            parent=ReturnAddress(self.id, task.uid),
+            grandparent_node=task.packet.parent.node,
+            replica=0,
+        )
+        record = SpawnRecord(digit=demand.digit, child_stamp=child_stamp, packet=packet)
+        task.spawn_records[demand.digit] = record
+        self.spawn_index[child_stamp] = (task.uid, record)
+        return record
+
+    def _finish_slice(
+        self,
+        task: TaskInstance,
+        slice_steps: int,
+        new_records: List[SpawnRecord],
+        final: Optional[Advance],
+    ) -> None:
+        duration = slice_steps * self.cost.reduction_step
+        duration += len(new_records) * self.cost.spawn_overhead
+        self.metrics.add_busy(self.id, duration)
+        done_at = self.queue.now + duration
+        self.busy_until = done_at
+
+        def complete_slice() -> None:
+            if not self.alive or task.status != TaskStatus.RUNNING:
+                # the node died (or the task was aborted) mid-slice
+                if self.current == task.uid:
+                    self.current = None
+                    self._schedule_run()
+                return
+            for record in new_records:
+                if not record.has_result:  # salvage may have filled it
+                    self._dispatch_spawn(task, record)
+            if final is not None and final.completed:
+                self._complete_task(task, final.value)
+            else:
+                yielded = final is not None and final.yielded
+                if yielded or task.pending_deliveries:
+                    # time-sliced tasks rejoin the back of the queue
+                    task.status = TaskStatus.READY
+                    self.run_queue.append(task.uid)
+                else:
+                    task.status = TaskStatus.SUSPENDED
+                    self.trace.emit(
+                        self.queue.now, self.id, "task_suspended",
+                        stamp=str(task.stamp), uid=task.uid,
+                    )
+            self.current = None
+            self._schedule_run()
+
+        self.queue.schedule(done_at, complete_slice, label=f"slice-end:node{self.id}")
+
+    # -- spawning -----------------------------------------------------------------------
+
+    def _dispatch_spawn(self, task: TaskInstance, record: SpawnRecord) -> None:
+        self.metrics.tasks_spawned += 1
+        self.trace.emit(
+            self.queue.now,
+            self.id,
+            "spawn",
+            stamp=str(record.child_stamp),
+            parent_uid=task.uid,
+            work=record.packet.work.describe(),
+        )
+        # State and timer must be set *before* routing: a local placement
+        # acks synchronously, moving the record straight to PLACED.
+        record.state = SpawnState.IN_TRANSIT
+        self._arm_ack_timer(task, record)
+        for packet in self.policy.expand_spawn(self, task, record):
+            self._route_packet(packet, record)
+
+    def _route_packet(self, packet: TaskPacket, record: Optional[SpawnRecord]) -> None:
+        dest = self.policy.placement_for(self, packet)
+        if dest is None:
+            dest = self.machine.scheduler.place(packet, self.id, self.known_dead)
+        msg = TaskPacketMsg(src=self.id, dst=dest, packet=packet)
+        if dest == self.id:
+            self._handle_task_packet(msg)
+        else:
+            self.machine.node(dest).inbound_pending += 1
+            self.machine.network.send(msg)
+
+    def _arm_ack_timer(self, task: TaskInstance, record: SpawnRecord) -> None:
+        if not self.policy.uses_ack_timers:
+            return
+        if record.ack_timer is not None:
+            self.queue.cancel(record.ack_timer)
+
+        def on_timeout() -> None:
+            record.ack_timer = None
+            if not self.alive or record.state != SpawnState.IN_TRANSIT:
+                return
+            if task.status in (TaskStatus.COMPLETED, TaskStatus.ABORTED):
+                return
+            # No acknowledgement inside the window: in this network that
+            # means the carrier or executor died.  Reissue (state-b rule).
+            self.reissue_record(task, record, reason="ack-timeout")
+
+        record.ack_timer = self.queue.after(
+            self.cost.ack_timeout, on_timeout, label=f"ack-timeout:{record.child_stamp}"
+        )
+
+    def replace_packet(self, packet: TaskPacket) -> None:
+        """Re-place a packet whose carrier died before placement."""
+        holder = self.instances.get(packet.parent.instance)
+        if holder is None or holder.status in (TaskStatus.COMPLETED, TaskStatus.ABORTED):
+            return
+        record = holder.record_for_child(packet.stamp)
+        if record is None or record.has_result or record.state == SpawnState.PLACED:
+            return
+        self.reissue_record(holder, record, reason="packet-undeliverable")
+
+    def reissue_record(
+        self, task: TaskInstance, record: SpawnRecord, reason: str
+    ) -> None:
+        """Re-activate a child from its retained packet (same stamp).
+
+        This is *the* recovery primitive: rollback's "reissue all the
+        checkpointed tasks" and splice's twin creation both land here.
+        """
+        if task.status in (TaskStatus.COMPLETED, TaskStatus.ABORTED) or record.has_result:
+            return
+        self.metrics.tasks_reissued += 1
+        self.metrics.add_busy(self.id, self.cost.reissue_overhead)
+        self.trace.emit(
+            self.queue.now,
+            self.id,
+            "recovery_reissue",
+            stamp=str(record.child_stamp),
+            reason=reason,
+            uid=task.uid,
+        )
+        record.state = SpawnState.IN_TRANSIT
+        record.executor = None
+        record.executor_instance = None
+        record.packet = record.packet.reissued_to(ReturnAddress(self.id, task.uid))
+        # Timer before routing: a local placement acks synchronously.
+        self._arm_ack_timer(task, record)
+        # Route through the policy's expansion so replicated execution
+        # re-emits all k copies (executors deduplicate extras).
+        for packet in self.policy.expand_spawn(self, task, record):
+            self._route_packet(packet, record)
+
+    # -- acknowledgements -------------------------------------------------------------------
+
+    def _handle_ack(self, ack: PlacementAck) -> None:
+        holder = self.instances.get(ack.parent_instance)
+        if holder is None or holder.status in (TaskStatus.COMPLETED, TaskStatus.ABORTED):
+            return
+        record = holder.record_for_child(ack.stamp)
+        if record is None:
+            return
+        if record.state == SpawnState.PLACED and record.executor != ack.executor:
+            # A stale ack from a superseded activation; the latest reissue
+            # wins (results match by stamp either way).
+            pass
+        if record.has_result:
+            return
+        record.state = SpawnState.PLACED
+        record.executor = ack.executor
+        record.executor_instance = ack.instance
+        if record.ack_timer is not None:
+            self.queue.cancel(record.ack_timer)
+            record.ack_timer = None
+        self.trace.emit(
+            self.queue.now,
+            self.id,
+            "ack_received",
+            stamp=str(ack.stamp),
+            executor=ack.executor,
+        )
+        self.policy.on_placement_ack(self, holder, record, ack)
+
+    # -- results ------------------------------------------------------------------------------
+
+    def _complete_task(self, task: TaskInstance, value: Any) -> None:
+        task.status = TaskStatus.COMPLETED
+        task.result = value
+        self.metrics.tasks_completed += 1
+        self.trace.emit(
+            self.queue.now,
+            self.id,
+            "task_completed",
+            stamp=str(task.stamp),
+            uid=task.uid,
+            value=repr(value),
+        )
+        self.policy.on_task_completed(self, task)
+        if self.machine.is_root_host(task):
+            self.machine.finish(task.result)
+            return
+        self.send_result(task)
+
+    def send_result(self, task: TaskInstance, addressee: Optional[ReturnAddress] = None) -> None:
+        """Forward a completed task's result to its parent."""
+        target = addressee or task.packet.parent
+        msg = ResultMsg(
+            src=self.id,
+            dst=target.node,
+            sender_stamp=task.stamp,
+            replica=task.packet.replica,
+            value=task.result,
+            addressee=target,
+            sender_instance=task.uid,
+        )
+        self.trace.emit(
+            self.queue.now, self.id, "result_sent", stamp=str(task.stamp), to=str(target)
+        )
+        if target.node == self.id:
+            self._handle_result(msg)
+        elif target.node in self.known_dead:
+            # Don't bother the network: we already know the parent is dead.
+            self.policy.on_result_undeliverable(self, msg, target.node)
+        else:
+            self.machine.network.send(msg)
+
+    def _handle_result(self, msg: ResultMsg) -> None:
+        if self.policy.on_result_received(self, msg):
+            return
+        task = self.instances.get(msg.addressee.instance)
+        if task is not None and task.status not in (TaskStatus.ABORTED,):
+            if task.status == TaskStatus.COMPLETED:
+                # Case 8: "The processor which contained P' may no longer
+                # recognize the arrived answer.  The result is discarded."
+                self._ignore_result(msg, reason="addressee-completed")
+                return
+            record = task.record_for_child(msg.sender_stamp)
+            if record is not None:
+                self.deliver_to_record(task, record, msg)
+                return
+            if msg.relayed and task.stamp.is_parent_of(msg.sender_stamp):
+                # Salvaged result arriving before the demand: buffer it.
+                digit = msg.sender_stamp.last_digit
+                task.inherited_results[digit] = (msg.value, msg.sender_instance)
+                self.trace.emit(
+                    self.queue.now,
+                    self.id,
+                    "result_received",
+                    stamp=str(msg.sender_stamp),
+                    uid=task.uid,
+                    buffered=True,
+                )
+                return
+        self._ignore_result(msg, reason="no-addressee")
+
+    def deliver_to_record(
+        self, task: TaskInstance, record: SpawnRecord, msg: ResultMsg
+    ) -> None:
+        """Accept a result into a spawn record and wake the waiting task.
+
+        Public because the replication policy delivers the majority value
+        through this same path after a vote decides.
+        """
+        if record.has_result:
+            # Duplicate (cases 6/7): identical by determinacy; ignore it.
+            if self.machine.config.verify_determinacy and not value_equal(
+                record.result, msg.value
+            ):
+                from repro.errors import DeterminacyViolationError
+
+                raise DeterminacyViolationError(
+                    record.child_stamp, record.result, msg.value
+                )
+            self.metrics.results_duplicate += 1
+            self.trace.emit(
+                self.queue.now,
+                self.id,
+                "result_duplicate",
+                stamp=str(msg.sender_stamp),
+                uid=task.uid,
+            )
+            return
+        record.fulfill(msg.value)
+        record.fulfilled_by = msg.sender_instance
+        if record.ack_timer is not None:
+            self.queue.cancel(record.ack_timer)
+            record.ack_timer = None
+        self.metrics.results_delivered += 1
+        if msg.relayed:
+            self.metrics.results_salvaged += 1
+            self.trace.emit(
+                self.queue.now, self.id, "result_salvaged",
+                stamp=str(msg.sender_stamp), uid=task.uid,
+            )
+        self.trace.emit(
+            self.queue.now,
+            self.id,
+            "result_received",
+            stamp=str(msg.sender_stamp),
+            uid=task.uid,
+            value=repr(msg.value),
+        )
+        self.policy.on_child_result(self, task, record, msg.value)
+        self.spawn_index.pop(record.child_stamp, None)
+        task.pending_deliveries[record.digit] = msg.value
+        self._make_ready(task)
+
+    def _ignore_result(self, msg: ResultMsg, reason: str) -> None:
+        self.metrics.results_ignored += 1
+        self.trace.emit(
+            self.queue.now,
+            self.id,
+            "result_ignored",
+            stamp=str(msg.sender_stamp),
+            reason=reason,
+        )
+
+    # -- aborts -------------------------------------------------------------------------------
+
+    def abort_completed_sender(self, msg: ResultMsg, reason: str) -> None:
+        """Rollback semantics for an orphan: discard its finished work."""
+        task = self._find_local_completed(msg.sender_stamp, msg.replica)
+        if task is None:
+            return
+        task.status = TaskStatus.ABORTED
+        self.metrics.tasks_aborted += 1
+        self.trace.emit(
+            self.queue.now,
+            self.id,
+            "task_aborted",
+            stamp=str(task.stamp),
+            uid=task.uid,
+            reason=reason,
+        )
+
+    def _find_local_completed(
+        self, stamp: LevelStamp, replica: int
+    ) -> Optional[TaskInstance]:
+        for task in self.instances.values():
+            if (
+                task.stamp == stamp
+                and task.packet.replica == replica
+                and task.status == TaskStatus.COMPLETED
+            ):
+                return task
+        return None
+
+    def abort_task(self, task: TaskInstance, reason: str) -> None:
+        """Abort a live local task (cascading waste is accounted at run end)."""
+        if task.status in (TaskStatus.COMPLETED, TaskStatus.ABORTED):
+            return
+        was_queued = task.status == TaskStatus.READY
+        task.status = TaskStatus.ABORTED
+        if was_queued and task.uid in self.run_queue:
+            self.run_queue.remove(task.uid)
+        for record in task.spawn_records.values():
+            if record.ack_timer is not None:
+                self.queue.cancel(record.ack_timer)
+                record.ack_timer = None
+            self.spawn_index.pop(record.child_stamp, None)
+        self.metrics.tasks_aborted += 1
+        self.trace.emit(
+            self.queue.now,
+            self.id,
+            "task_aborted",
+            stamp=str(task.stamp),
+            uid=task.uid,
+            reason=reason,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Node {self.id} {'alive' if self.alive else 'DEAD'} "
+            f"load={self.load()} instances={len(self.instances)}>"
+        )

@@ -1,0 +1,105 @@
+"""Structured event traces.
+
+Every externally meaningful action in a run appends a :class:`TraceRecord`.
+Traces power the figure reproductions (fragmentation of Figure 1, the case
+classification of Figure 5) and the residue-effect tests of Figure 6/7.
+Tracing can be disabled for large benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced action."""
+
+    time: float
+    node: int
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"t={self.time:<10.2f} node={self.node:<3} {self.kind:<22} {detail}"
+
+
+#: Trace record kinds emitted by the simulator.  Kept in one place so tests
+#: and analysis code never match on misspelled strings.
+KINDS = (
+    "task_accepted",
+    "task_started",
+    "task_suspended",
+    "task_completed",
+    "task_aborted",
+    "spawn",
+    "checkpoint_recorded",
+    "checkpoint_dropped",
+    "result_sent",
+    "result_received",
+    "result_duplicate",
+    "result_ignored",
+    "result_orphan_rerouted",
+    "result_relayed",
+    "result_salvaged",
+    "node_failed",
+    "failure_detected",
+    "recovery_reissue",
+    "twin_created",
+    "delivery_failed",
+    "ack_received",
+    "vote_recorded",
+    "vote_decided",
+)
+
+
+class Trace:
+    """Append-only trace with query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def emit(self, time: float, node: int, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        assert kind in KINDS, f"unknown trace kind {kind!r}"
+        self.records.append(TraceRecord(time, node, kind, detail))
+
+    # -- queries -------------------------------------------------------------
+
+    def of_kind(self, *kinds: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind in kinds]
+
+    def where(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        return [r for r in self.records if predicate(r)]
+
+    def first(self, kind: str) -> Optional[TraceRecord]:
+        for record in self.records:
+            if record.kind == kind:
+                return record
+        return None
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        for record in reversed(self.records):
+            if record.kind == kind:
+                return record
+        return None
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def render(self, kinds: Optional[tuple] = None, limit: Optional[int] = None) -> str:
+        """Human-readable rendering (optionally filtered)."""
+        records = self.records if kinds is None else self.of_kind(*kinds)
+        if limit is not None:
+            records = records[:limit]
+        return "\n".join(str(r) for r in records)

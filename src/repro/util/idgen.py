@@ -1,0 +1,33 @@
+"""Monotonic identifier generation for simulator entities."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class IdGenerator:
+    """Hands out monotonically increasing integer IDs per namespace.
+
+    Task *instances* (physical activations) need unique IDs distinct from
+    their logical identity (the level stamp), because one stamp may be
+    activated several times across failures.  Namespacing keeps message IDs,
+    task-instance IDs, and snapshot IDs independently dense, which makes
+    traces easier to read.
+    """
+
+    def __init__(self) -> None:
+        self._next: Dict[str, int] = {}
+
+    def next(self, namespace: str = "default") -> int:
+        """Return the next ID in ``namespace`` (starting at 0)."""
+        value = self._next.get(namespace, 0)
+        self._next[namespace] = value + 1
+        return value
+
+    def peek(self, namespace: str = "default") -> int:
+        """Return the ID that the next call to :meth:`next` would return."""
+        return self._next.get(namespace, 0)
+
+    def reset(self) -> None:
+        """Forget all namespaces (used between simulation runs)."""
+        self._next.clear()

@@ -1,0 +1,99 @@
+"""Summary statistics for experiment series.
+
+Thin, numpy-backed helpers used by the benchmark harness to aggregate
+repeated simulation runs into the mean/err rows the reports print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} median={self.median:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a sample of floats.
+
+    Raises ``ValueError`` on an empty sample — silently returning NaNs hides
+    harness bugs where a sweep produced no runs.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )
+
+
+def confidence_interval(values: Sequence[float], level: float = 0.95) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the sample mean.
+
+    For the small repetition counts used in benches (5-30 runs) the normal
+    approximation is adequate; we avoid a scipy dependency in the hot path.
+    """
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compute a confidence interval of an empty sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return (mean, mean)
+    # Two-sided z-score via the inverse error function.
+    z = math.sqrt(2.0) * _erfinv(level)
+    half = z * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return (mean - half, mean + half)
+
+
+def _erfinv(y: float) -> float:
+    """Inverse error function (Winitzki's approximation, ~1e-4 accurate)."""
+    a = 0.147
+    ln_term = math.log(1.0 - y * y)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return math.copysign(
+        math.sqrt(math.sqrt(first * first - ln_term / a) - first), y
+    )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, for aggregating speedup ratios across workloads."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take the geometric mean of an empty sample")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def ratio_of_means(numerators: Sequence[float], denominators: Sequence[float]) -> float:
+    """Ratio of sample means, the standard aggregate for overhead factors."""
+    num = summarize(numerators).mean
+    den = summarize(denominators).mean
+    if den == 0:
+        raise ZeroDivisionError("denominator sample has zero mean")
+    return num / den

@@ -1,0 +1,79 @@
+"""ASCII table rendering for benchmark reports.
+
+The benchmark harness prints the same rows/series the paper's figures imply;
+this module renders them as monospace tables so ``pytest benchmarks/``
+output is self-describing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed ASCII table.
+
+    Every row must have exactly ``len(headers)`` cells; a mismatch is a
+    harness bug and raises ``ValueError`` rather than misaligning output.
+    """
+    headers = [str(h) for h in headers]
+    str_rows = []
+    for row in rows:
+        cells = [_cell(c) for c in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(headers)} headers: {row!r}"
+            )
+        str_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in str_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(fill: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(fill * (w + 2) for w in widths) + joint
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line())
+    out.append(render_row(headers))
+    out.append(line("="))
+    for cells in str_rows:
+        out.append(render_row(cells))
+    out.append(line())
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render one or more named series against a shared x-axis as a table."""
+    headers = [x_label, *series.keys()]
+    columns = list(series.values())
+    for name, col in series.items():
+        if len(col) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(col)} points but x-axis has {len(x_values)}"
+            )
+    rows = [
+        [x, *(col[i] for col in columns)] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

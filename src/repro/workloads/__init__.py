@@ -1,0 +1,28 @@
+"""Workload generators: synthetic call trees and the paper's Figure-1 tree."""
+
+from repro.workloads.figure1 import (
+    FIGURE1_PLACEMENT,
+    Figure1Scenario,
+    figure1_scenario,
+)
+from repro.workloads.trees import (
+    balanced_tree,
+    chain_tree,
+    random_tree,
+    skewed_tree,
+    wide_tree,
+)
+from repro.workloads.suite import WORKLOADS, get_workload
+
+__all__ = [
+    "FIGURE1_PLACEMENT",
+    "Figure1Scenario",
+    "figure1_scenario",
+    "balanced_tree",
+    "chain_tree",
+    "random_tree",
+    "skewed_tree",
+    "wide_tree",
+    "WORKLOADS",
+    "get_workload",
+]

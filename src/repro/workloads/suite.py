@@ -1,0 +1,61 @@
+"""Named workload registry used by benchmarks and examples.
+
+Each entry builds a fresh :class:`~repro.sim.workload.Workload`; language
+workloads carry their oracle via the sequential interpreter, tree
+workloads via the spec's deterministic reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.lang.programs import get_program
+from repro.sim.workload import InterpWorkload, TreeWorkload, Workload
+from repro.workloads.trees import (
+    balanced_tree,
+    chain_tree,
+    random_tree,
+    skewed_tree,
+    wide_tree,
+)
+
+WORKLOADS: Dict[str, Callable[[], Workload]] = {
+    # language programs (implicit call trees)
+    "fib-10": lambda: InterpWorkload(get_program("fib", 10), name="fib-10"),
+    "fib-12": lambda: InterpWorkload(get_program("fib", 12), name="fib-12"),
+    "tak-8": lambda: InterpWorkload(get_program("tak", 8, 4, 2), name="tak-8"),
+    "binomial-10-4": lambda: InterpWorkload(
+        get_program("binomial", 10, 4), name="binomial-10-4"
+    ),
+    "nqueens-5": lambda: InterpWorkload(get_program("nqueens", 5), name="nqueens-5"),
+    "qsort-16": lambda: InterpWorkload(
+        get_program("qsort", (13, 2, 8, 5, 11, 1, 15, 7, 3, 16, 9, 4, 14, 6, 12, 10)),
+        name="qsort-16",
+    ),
+    "tree-sum-6": lambda: InterpWorkload(
+        get_program("tree-sum", 6), name="tree-sum-6"
+    ),
+    "sum-range-128": lambda: InterpWorkload(
+        get_program("sum-range", 0, 128), name="sum-range-128"
+    ),
+    # synthetic trees (explicit shape control)
+    "balanced-d5-f2": lambda: TreeWorkload(balanced_tree(5, 2, work=20), "balanced-d5-f2"),
+    "balanced-d3-f4": lambda: TreeWorkload(balanced_tree(3, 4, work=20), "balanced-d3-f4"),
+    "chain-30": lambda: TreeWorkload(chain_tree(30, work=25), "chain-30"),
+    "wide-48": lambda: TreeWorkload(wide_tree(48, work=40), "wide-48"),
+    "skewed-d8-f3": lambda: TreeWorkload(skewed_tree(8, 3, work=20), "skewed-d8-f3"),
+    "random-100": lambda: TreeWorkload(
+        random_tree(seed=404, target_tasks=100), "random-100"
+    ),
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Build a fresh instance of the named workload."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return factory()

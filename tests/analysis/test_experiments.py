@@ -1,0 +1,92 @@
+"""Tests for the experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    fault_free_makespan,
+    fault_time_sweep,
+    multi_fault_run,
+    overhead_sweep,
+    scaling_sweep,
+)
+from repro.analysis.report import render_fault_sweep, render_overhead, render_scaling
+from repro.config import SimConfig
+from repro.core import NoFaultTolerance, RollbackRecovery, SpliceRecovery
+from repro.sim import TreeWorkload
+from repro.workloads.trees import balanced_tree
+
+
+def wfactory():
+    return TreeWorkload(balanced_tree(4, 2, 25), "bal")
+
+
+CONFIG = SimConfig(n_processors=4, seed=0)
+
+
+class TestOverheadSweep:
+    def test_rows_and_rendering(self):
+        rows = overhead_sweep(
+            {"bal": wfactory},
+            {"none": NoFaultTolerance, "rollback": RollbackRecovery},
+            CONFIG,
+        )
+        assert len(rows) == 2
+        none_row = next(r for r in rows if r.policy == "none")
+        roll_row = next(r for r in rows if r.policy == "rollback")
+        assert none_row.overhead_vs_none == 1.0
+        assert roll_row.checkpoints > 0
+        text = render_overhead(rows)
+        assert "rollback" in text and "vs none" in text
+
+
+class TestFaultTimeSweep:
+    def test_points_complete_and_correct(self):
+        points = fault_time_sweep(
+            wfactory,
+            CONFIG,
+            {"rollback": RollbackRecovery, "splice": SpliceRecovery},
+            fractions=(0.3, 0.7),
+        )
+        assert len(points) == 4
+        assert all(p.completed and p.correct for p in points)
+        assert all(p.slowdown >= 1.0 - 1e-9 for p in points)
+        text = render_fault_sweep(points)
+        assert "splice" in text
+
+    def test_fault_time_positive(self):
+        points = fault_time_sweep(
+            wfactory, CONFIG, {"rollback": RollbackRecovery}, fractions=(0.0001,)
+        )
+        assert points[0].fault_time >= 1.0
+
+
+class TestScalingSweep:
+    def test_speedup_monotone_baseline(self):
+        points = scaling_sweep(
+            lambda: TreeWorkload(balanced_tree(4, 2, 60), "bal"),
+            CONFIG,
+            NoFaultTolerance,
+            processor_counts=(1, 4),
+        )
+        assert points[0].speedup == 1.0
+        assert points[1].speedup > 1.0
+        assert "speedup" in render_scaling(points)
+
+
+class TestMultiFault:
+    def test_runs_with_schedule(self):
+        result = multi_fault_run(
+            wfactory,
+            CONFIG.with_(n_processors=6),
+            SpliceRecovery,
+            fault_times=[(150.0, 1), (150.0, 4)],
+        )
+        assert result.completed and result.verified is True
+
+
+class TestFaultFreeMakespan:
+    def test_value(self):
+        m = fault_free_makespan(wfactory, CONFIG, NoFaultTolerance)
+        assert m > 0

@@ -1,0 +1,74 @@
+"""Tests for the figure reproductions (the paper's artifacts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import figure1, figure2, figure3, figure5, figure6
+from repro.analysis.residue import STATES, measure_windows, residue_sweep
+from repro.workloads.figure1 import EXPECTED_CHECKPOINTS, EXPECTED_FRAGMENTS
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1()
+
+
+class TestFigure1:
+    def test_reproduced(self, fig1):
+        assert fig1.ok, fig1.text
+
+    def test_fragments(self, fig1):
+        assert set(fig1.data["fragments"]) == set(EXPECTED_FRAGMENTS)
+
+    def test_checkpoint_distribution(self, fig1):
+        assert fig1.data["checkpoints"] == EXPECTED_CHECKPOINTS
+
+    def test_reissued_tasks(self, fig1):
+        assert sorted(fig1.data["reissued"]) == ["B1", "B2", "B3", "B7"]
+
+    def test_text_mentions_processors(self, fig1):
+        assert "entry[B]" in fig1.text
+
+
+class TestFigure2:
+    def test_reproduced(self):
+        report = figure2()
+        assert report.ok, report.text
+        assert report.data["pointers"]["B3"] == "A"
+        assert report.data["pointers"]["D4"] == "C"
+
+
+class TestFigure3:
+    def test_reproduced(self):
+        report = figure3()
+        assert report.ok, report.text
+        assert "B2" in report.data["twins"]
+        assert "D4" in report.data["salvaged"]
+
+
+class TestFigure5:
+    def test_all_cases_reproduced(self):
+        report = figure5()
+        assert report.ok, report.text
+        outcomes = report.data["outcomes"]
+        assert sorted(outcomes) == list(range(1, 9))
+        assert all(outcomes[n].matches for n in outcomes)
+
+
+class TestFigure6:
+    def test_all_states_residue_free(self):
+        report = figure6()
+        assert report.ok, report.text
+        outcomes = report.data["outcomes"]
+        assert {o.state for o in outcomes} == set(STATES)
+        assert {o.policy for o in outcomes} == {"rollback", "splice"}
+        assert all(o.residue_free for o in outcomes)
+
+
+class TestResidueWindows:
+    def test_windows_monotone(self):
+        windows = measure_windows()
+        times = [windows.times[s] for s in STATES]
+        assert times == sorted(times)
+        assert times[-1] < windows.probe_makespan

@@ -1,0 +1,102 @@
+"""Tests for the periodic-global-checkpointing baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import PeriodicCheckpointSimulator
+from repro.config import CostModel, SimConfig
+from repro.core import NoFaultTolerance
+from repro.errors import SimError
+from repro.sim import TreeWorkload
+from repro.sim.machine import run_simulation
+from repro.workloads.trees import balanced_tree, chain_tree, wide_tree
+
+
+class TestFaultFree:
+    def test_completes_with_expected_value(self):
+        spec = balanced_tree(4, 2, 20)
+        result = PeriodicCheckpointSimulator(spec, 4, interval=200.0).run()
+        assert result.completed
+        assert result.value == spec.expected_value()
+
+    def test_checkpoints_taken_scale_with_interval(self):
+        spec = balanced_tree(5, 2, 30)
+        fine = PeriodicCheckpointSimulator(spec, 4, interval=50.0).run()
+        coarse = PeriodicCheckpointSimulator(spec, 4, interval=500.0).run()
+        assert fine.checkpoints_taken > coarse.checkpoints_taken
+        assert fine.checkpoint_time > coarse.checkpoint_time
+
+    def test_checkpoint_overhead_slows_makespan(self):
+        """§2's complaint: synchronization costs fault-free time."""
+        spec = balanced_tree(5, 2, 30)
+        fine = PeriodicCheckpointSimulator(spec, 4, interval=50.0).run()
+        coarse = PeriodicCheckpointSimulator(spec, 4, interval=10_000.0).run()
+        assert fine.makespan > coarse.makespan
+
+    def test_invalid_args(self):
+        spec = balanced_tree(2, 2, 10)
+        with pytest.raises(SimError):
+            PeriodicCheckpointSimulator(spec, 0, interval=10.0)
+        with pytest.raises(SimError):
+            PeriodicCheckpointSimulator(spec, 2, interval=0.0)
+
+    @pytest.mark.parametrize("builder", [
+        lambda: balanced_tree(3, 3, 15),
+        lambda: chain_tree(12, 20),
+        lambda: wide_tree(20, 30),
+    ])
+    def test_various_shapes(self, builder):
+        spec = builder()
+        result = PeriodicCheckpointSimulator(spec, 3, interval=100.0).run()
+        assert result.completed and result.value == spec.expected_value()
+
+    def test_agrees_with_machine_roughly(self):
+        """Same cost model, same tree: the simplified executor's fault-free
+        makespan stays within 2x of the full machine's (they differ by
+        network latency, which the baseline doesn't model)."""
+        spec = balanced_tree(4, 2, 50)
+        machine_result = run_simulation(
+            TreeWorkload(spec, "bal"),
+            SimConfig(n_processors=4, seed=0),
+            policy=NoFaultTolerance(),
+            collect_trace=False,
+        )
+        baseline = PeriodicCheckpointSimulator(spec, 4, interval=10**9).run()
+        assert baseline.makespan <= machine_result.makespan  # no latency
+        assert machine_result.makespan < 2.5 * baseline.makespan
+
+
+class TestFailure:
+    def test_restore_loses_work_since_snapshot(self):
+        spec = balanced_tree(5, 2, 30)
+        base = PeriodicCheckpointSimulator(spec, 4, interval=100.0).run()
+        faulted = PeriodicCheckpointSimulator(spec, 4, interval=100.0).run(
+            fault_time=base.makespan * 0.6
+        )
+        assert faulted.completed
+        assert faulted.restores == 1
+        assert faulted.lost_work > 0
+        assert faulted.makespan > base.makespan
+
+    def test_longer_interval_loses_more_work(self):
+        """The §2 trade-off: loose checkpointing loses more on failure."""
+        spec = balanced_tree(5, 2, 30)
+        base = PeriodicCheckpointSimulator(spec, 4, interval=100.0).run()
+        t = base.makespan * 0.7
+        tight = PeriodicCheckpointSimulator(spec, 4, interval=80.0).run(fault_time=t)
+        loose = PeriodicCheckpointSimulator(spec, 4, interval=10_000.0).run(fault_time=t)
+        assert loose.lost_work > tight.lost_work
+
+    def test_failure_before_first_checkpoint_restarts(self):
+        spec = balanced_tree(4, 2, 30)
+        result = PeriodicCheckpointSimulator(spec, 4, interval=10_000.0).run(
+            fault_time=100.0
+        )
+        assert result.completed
+        assert result.lost_work > 0
+
+    def test_all_processors_failing_raises(self):
+        spec = balanced_tree(2, 2, 10)
+        with pytest.raises(SimError):
+            PeriodicCheckpointSimulator(spec, 1, interval=50.0).run(fault_time=10.0)

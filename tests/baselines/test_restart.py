@@ -1,0 +1,58 @@
+"""Tests for the whole-program-restart baseline."""
+
+from __future__ import annotations
+
+from repro.baselines import restart_run
+from repro.config import SimConfig
+from repro.sim import TreeWorkload
+from repro.sim.failure import Fault
+from repro.workloads.trees import balanced_tree
+
+
+def factory():
+    return TreeWorkload(balanced_tree(4, 2, 25), "bal")
+
+
+class TestRestart:
+    def test_no_fault_no_overhead(self):
+        result = restart_run(factory, SimConfig(n_processors=4, seed=0))
+        assert result.completed
+        assert result.restarts == 0
+        assert result.wasted_steps == 0
+
+    def test_fault_restarts_and_wastes(self):
+        base = restart_run(factory, SimConfig(n_processors=4, seed=0))
+        result = restart_run(
+            factory,
+            SimConfig(n_processors=4, seed=0),
+            fault=Fault(base.makespan * 0.5, 1),
+        )
+        assert result.completed
+        assert result.restarts == 1
+        assert result.wasted_steps > 0
+        assert result.makespan > base.makespan
+
+    def test_fault_after_completion_no_restart(self):
+        base = restart_run(factory, SimConfig(n_processors=4, seed=0))
+        result = restart_run(
+            factory,
+            SimConfig(n_processors=4, seed=0),
+            fault=Fault(base.makespan + 100.0, 1),
+        )
+        assert result.restarts == 0
+        assert result.makespan == base.makespan
+
+    def test_later_fault_wastes_more(self):
+        base = restart_run(factory, SimConfig(n_processors=4, seed=0))
+        early = restart_run(
+            factory, SimConfig(n_processors=4, seed=0), fault=Fault(base.makespan * 0.2, 1)
+        )
+        late = restart_run(
+            factory, SimConfig(n_processors=4, seed=0), fault=Fault(base.makespan * 0.9, 1)
+        )
+        assert late.wasted_steps > early.wasted_steps
+        assert late.makespan > early.makespan
+
+    def test_summary(self):
+        result = restart_run(factory, SimConfig(n_processors=4, seed=0))
+        assert "restart" in result.summary()

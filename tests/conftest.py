@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.compileprog import compile_program
+from repro.lang.programs import get_program
+
+
+@pytest.fixture
+def fib_program():
+    """A small fib instance: 15 spawned tasks, answer 5."""
+    return get_program("fib", 5)
+
+
+@pytest.fixture
+def tiny_program():
+    """Three-task chain G -> P -> C, mirroring Figure 6's scenario."""
+    return compile_program(
+        """
+        (define (g n) (+ 1 (p n)))
+        (define (p n) (+ 1 (c n)))
+        (define (c n) (* n n))
+        (g 4)
+        """
+    )

@@ -1,0 +1,220 @@
+"""Tests for functional-checkpoint tables (paper §2, §3.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import CheckpointTable
+from repro.core.packets import ReturnAddress, TaskPacket, WorkSpec
+from repro.core.stamps import LevelStamp
+
+
+def packet(stamp: LevelStamp) -> TaskPacket:
+    return TaskPacket(
+        stamp=stamp,
+        work=WorkSpec(kind="apply", fn_name="f", args=(1,)),
+        parent=ReturnAddress(0, 0),
+    )
+
+
+class TestInsertionRule:
+    def test_record_new(self):
+        table = CheckpointTable()
+        s = LevelStamp.of(0)
+        cp = table.record(1, s, packet(s), task_uid=7)
+        assert cp is not None
+        assert cp.stamp == s and cp.dest == 1 and cp.task_uid == 7
+        assert table.held() == 1
+
+    def test_descendant_suppressed(self):
+        """'If B2 is a descendant of an existing functional checkpoint,
+        C does nothing.'"""
+        table = CheckpointTable()
+        a = LevelStamp.of(0)
+        table.record(1, a, packet(a), 0)
+        child = a.child(3)
+        assert table.record(1, child, packet(child), 0) is None
+        assert table.suppressed == 1
+        assert table.held() == 1
+
+    def test_same_stamp_suppressed(self):
+        table = CheckpointTable()
+        s = LevelStamp.of(0)
+        table.record(1, s, packet(s), 0)
+        assert table.record(1, s, packet(s), 0) is None
+
+    def test_suppression_is_per_destination(self):
+        """Topmost-ness is local to one (host, destination) entry."""
+        table = CheckpointTable()
+        a = LevelStamp.of(0)
+        child = a.child(1)
+        table.record(1, a, packet(a), 0)
+        assert table.record(2, child, packet(child), 0) is not None
+        assert table.held() == 2
+
+    def test_ancestor_subsumes_existing_descendants(self):
+        table = CheckpointTable()
+        a = LevelStamp.of(0)
+        child = a.child(1)
+        table.record(1, child, packet(child), 0)
+        cp = table.record(1, a, packet(a), 0)
+        assert cp is not None
+        assert [c.stamp for c in table.entry(1)] == [a]
+
+    def test_unrelated_coexist(self):
+        table = CheckpointTable()
+        for i in range(4):
+            s = LevelStamp.of(i)
+            table.record(1, s, packet(s), 0)
+        assert table.held() == 4
+        table.check_invariant()
+
+
+class TestDrop:
+    def test_drop(self):
+        table = CheckpointTable()
+        s = LevelStamp.of(0)
+        table.record(1, s, packet(s), 0)
+        assert table.drop(1, s) is True
+        assert table.held() == 0
+        assert table.drop(1, s) is False
+
+    def test_drop_everywhere(self):
+        table = CheckpointTable()
+        s = LevelStamp.of(0)
+        table.record(1, s, packet(s), 0)
+        assert table.drop_everywhere(s) == 1
+        assert table.held() == 0
+
+
+class TestQueries:
+    def test_entry_sorted(self):
+        table = CheckpointTable()
+        for i in (3, 1, 2):
+            s = LevelStamp.of(i)
+            table.record(1, s, packet(s), 0)
+        assert [c.stamp.digits for c in table.entry(1)] == [(1,), (2,), (3,)]
+
+    def test_entry_empty_for_unknown_dest(self):
+        assert CheckpointTable().entry(9) == []
+
+    def test_lookup(self):
+        table = CheckpointTable()
+        s = LevelStamp.of(5)
+        table.record(2, s, packet(s), 0)
+        assert table.lookup(s).dest == 2
+        assert table.lookup(LevelStamp.of(9)) is None
+
+    def test_destinations(self):
+        table = CheckpointTable()
+        table.record(3, LevelStamp.of(0), packet(LevelStamp.of(0)), 0)
+        table.record(1, LevelStamp.of(1), packet(LevelStamp.of(1)), 0)
+        assert table.destinations() == [1, 3]
+
+    def test_iter_and_peak(self):
+        table = CheckpointTable()
+        table.record(1, LevelStamp.of(0), packet(LevelStamp.of(0)), 0)
+        table.record(2, LevelStamp.of(1), packet(LevelStamp.of(1)), 0)
+        assert len(list(table)) == 2
+        assert table.peak_held == 2
+        table.drop(1, LevelStamp.of(0))
+        assert table.peak_held == 2  # peak is sticky
+
+
+# Strategy: random insertion/removal sequences must preserve the topmost
+# invariant — the paper's §3.2 data-structure contract.
+_stamps = st.lists(
+    st.integers(min_value=0, max_value=2), min_size=0, max_size=4
+).map(lambda ds: LevelStamp(tuple(ds)))
+_ops = st.lists(
+    st.tuples(st.sampled_from(["record", "drop"]), st.integers(0, 2), _stamps),
+    max_size=40,
+)
+
+
+@given(_ops)
+def test_topmost_invariant_under_random_ops(ops):
+    table = CheckpointTable()
+    for op, dest, stamp in ops:
+        if op == "record":
+            table.record(dest, stamp, packet(stamp), 0)
+        else:
+            table.drop(dest, stamp)
+        table.check_invariant()
+
+
+@given(_ops)
+def test_held_matches_iteration(ops):
+    table = CheckpointTable()
+    for op, dest, stamp in ops:
+        if op == "record":
+            table.record(dest, stamp, packet(stamp), 0)
+        else:
+            table.drop(dest, stamp)
+    assert table.held() == len(list(table))
+
+
+class TestLineageAwareCoverage:
+    """The instance-covers refinement: checkpoints from racing activation
+    lineages must not suppress each other (the 3-fault regression)."""
+
+    @staticmethod
+    def _covers_map(edges):
+        """covers(a, b) from an explicit instance-parent mapping."""
+
+        def covers(ancestor, holder):
+            uid = holder
+            while uid is not None:
+                if uid == ancestor:
+                    return True
+                uid = edges.get(uid)
+            return False
+
+        return covers
+
+    def test_same_stamp_different_lineage_both_recorded(self):
+        table = CheckpointTable()
+        s = LevelStamp.of(0, 1)
+        covers = self._covers_map({})  # unrelated holders
+        assert table.record(3, s, packet(s), 10, covers=covers) is not None
+        assert table.record(3, s, packet(s), 20, covers=covers) is not None
+        assert len(table.entry(3)) == 2
+
+    def test_same_lineage_descendant_suppressed(self):
+        table = CheckpointTable()
+        a = LevelStamp.of(0)
+        z = a.child(1)
+        covers = self._covers_map({30: 10})  # holder 30 descends from 10
+        assert table.record(3, a, packet(a), 10, covers=covers) is not None
+        assert table.record(3, z, packet(z), 30, covers=covers) is None
+        assert table.suppressed == 1
+
+    def test_cross_lineage_descendant_not_suppressed(self):
+        table = CheckpointTable()
+        a = LevelStamp.of(0)
+        z = a.child(1)
+        covers = self._covers_map({})  # 30 does NOT descend from 10
+        assert table.record(3, a, packet(a), 10, covers=covers) is not None
+        assert table.record(3, z, packet(z), 30, covers=covers) is not None
+        assert len(table.entry(3)) == 2
+
+    def test_subsumption_respects_lineage(self):
+        table = CheckpointTable()
+        a = LevelStamp.of(0)
+        z = a.child(1)
+        covers = self._covers_map({30: 10})
+        table.record(3, z, packet(z), 30, covers=covers)
+        # ancestor from the same lineage subsumes the descendant entry
+        table.record(3, a, packet(a), 10, covers=covers)
+        assert [c.stamp for c in table.entry(3)] == [a]
+
+    def test_drop_by_holder(self):
+        table = CheckpointTable()
+        s = LevelStamp.of(0)
+        covers = self._covers_map({})
+        table.record(1, s, packet(s), 10, covers=covers)
+        table.record(1, s, packet(s), 20, covers=covers)
+        assert table.drop(1, s, task_uid=10) is True
+        assert [c.task_uid for c in table.entry(1)] == [20]

@@ -1,0 +1,209 @@
+"""End-to-end tests for rollback recovery (paper §3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimConfig
+from repro.core import NoFaultTolerance, RollbackRecovery
+from repro.lang.programs import get_program
+from repro.sim import Fault, FaultSchedule, InterpWorkload, Machine, TreeWorkload
+from repro.sim.machine import run_simulation
+from repro.workloads.trees import balanced_tree, chain_tree, random_tree
+
+
+def run(workload, policy, faults=FaultSchedule.none(), seed=0, n=4, **cfg):
+    return run_simulation(
+        workload,
+        SimConfig(n_processors=n, seed=seed, **cfg),
+        policy=policy,
+        faults=faults,
+    )
+
+
+class TestFaultFree:
+    def test_matches_oracle(self):
+        result = run(InterpWorkload(get_program("fib", 9), name="fib"), RollbackRecovery())
+        assert result.completed and result.verified is True
+
+    def test_identical_to_noft_makespan(self):
+        """Checkpointing must not perturb fault-free scheduling."""
+        w = lambda: InterpWorkload(get_program("fib", 9), name="fib")
+        r_none = run(w(), NoFaultTolerance())
+        r_roll = run(w(), RollbackRecovery())
+        assert r_roll.makespan == r_none.makespan
+        assert r_roll.metrics.steps_wasted == 0
+
+    def test_checkpoints_recorded_and_dropped(self):
+        result = run(TreeWorkload(balanced_tree(3, 2, 10), "bal"), RollbackRecovery())
+        m = result.metrics
+        assert m.checkpoints_recorded > 0
+        # every checkpoint is dropped when its child's result arrives
+        assert m.checkpoints_dropped == m.checkpoints_recorded
+
+    def test_peak_checkpoints_bounded_by_tasks(self):
+        result = run(TreeWorkload(balanced_tree(4, 2, 10), "bal"), RollbackRecovery())
+        assert 0 < result.metrics.checkpoint_peak_held <= result.metrics.tasks_accepted
+
+
+class TestSingleFault:
+    @pytest.mark.parametrize("victim", [0, 1, 2, 3])
+    def test_recovers_from_any_processor(self, victim):
+        result = run(
+            InterpWorkload(get_program("fib", 9), name="fib"),
+            RollbackRecovery(),
+            faults=FaultSchedule.single(300.0, victim),
+        )
+        assert result.completed, result.stall_reason
+        assert result.verified is True
+
+    @pytest.mark.parametrize("t", [50.0, 200.0, 500.0, 800.0])
+    def test_recovers_at_any_time(self, t):
+        result = run(
+            InterpWorkload(get_program("fib", 9), name="fib"),
+            RollbackRecovery(),
+            faults=FaultSchedule.single(t, 2),
+        )
+        assert result.completed and result.verified is True
+
+    def test_fault_after_completion_is_harmless(self):
+        w = InterpWorkload(get_program("fib", 6), name="fib")
+        base = run(w, RollbackRecovery())
+        result = run(
+            InterpWorkload(get_program("fib", 6), name="fib"),
+            RollbackRecovery(),
+            faults=FaultSchedule.single(base.makespan + 1000.0, 1),
+        )
+        assert result.completed and result.verified is True
+
+    def test_noft_stalls_where_rollback_recovers(self):
+        """The control: the same fault defeats the no-recovery policy."""
+        spec = balanced_tree(4, 2, 25)
+        stalled = run(
+            TreeWorkload(spec, "bal"),
+            NoFaultTolerance(),
+            faults=FaultSchedule.single(150.0, 1),
+        )
+        recovered = run(
+            TreeWorkload(spec, "bal"),
+            RollbackRecovery(),
+            faults=FaultSchedule.single(150.0, 1),
+        )
+        assert not stalled.completed and stalled.stall_reason is not None
+        assert recovered.completed and recovered.verified is True
+
+    def test_orphans_aborted_and_waste_counted(self):
+        result = run(
+            TreeWorkload(chain_tree(12, 40), "chain"),
+            RollbackRecovery(),
+            faults=FaultSchedule.single(200.0, 1),
+        )
+        assert result.completed and result.verified is True
+        assert result.metrics.steps_wasted > 0
+
+    def test_late_fault_costs_more_than_early(self):
+        """§6: 'if a fault happens at a later stage of the evaluation, the
+        rollback recovery may be costly.'  Cost = completion-time slowdown
+        (wasted *steps* can be large for early faults too, because orphan
+        subtrees run to completion before aborting)."""
+        spec = chain_tree(16, 40)
+        base = run(TreeWorkload(spec, "chain"), RollbackRecovery())
+        early = run(
+            TreeWorkload(spec, "chain"),
+            RollbackRecovery(),
+            faults=FaultSchedule.single(0.15 * base.makespan, 1),
+        )
+        late = run(
+            TreeWorkload(spec, "chain"),
+            RollbackRecovery(),
+            faults=FaultSchedule.single(0.85 * base.makespan, 1),
+        )
+        assert early.completed and late.completed
+        assert late.makespan > early.makespan
+        assert late.makespan > base.makespan
+
+
+class TestMultiFault:
+    def test_two_faults_different_times(self):
+        result = run(
+            InterpWorkload(get_program("fib", 9), name="fib"),
+            RollbackRecovery(),
+            faults=FaultSchedule.of(Fault(200.0, 1), Fault(500.0, 3)),
+            n=5,
+        )
+        assert result.completed and result.verified is True
+
+    def test_simultaneous_faults(self):
+        result = run(
+            InterpWorkload(get_program("fib", 9), name="fib"),
+            RollbackRecovery(),
+            faults=FaultSchedule.of(Fault(250.0, 1), Fault(250.0, 2)),
+            n=6,
+        )
+        assert result.completed and result.verified is True
+
+    def test_all_but_one_processor_fails(self):
+        result = run(
+            TreeWorkload(balanced_tree(3, 2, 20), "bal"),
+            RollbackRecovery(),
+            faults=FaultSchedule.of(Fault(100.0, 1), Fault(180.0, 2), Fault(260.0, 3)),
+        )
+        assert result.completed and result.verified is True
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize("scheduler", ["gradient", "random", "round_robin", "static"])
+    def test_recovery_under_every_scheduler(self, scheduler):
+        result = run(
+            TreeWorkload(balanced_tree(4, 2, 20), "bal"),
+            RollbackRecovery(),
+            faults=FaultSchedule.single(200.0, 1),
+            scheduler=scheduler,
+        )
+        assert result.completed and result.verified is True
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def one():
+            return run(
+                TreeWorkload(balanced_tree(4, 2, 15), "bal"),
+                RollbackRecovery(),
+                faults=FaultSchedule.single(180.0, 2),
+                seed=11,
+            )
+
+        a, b = one(), one()
+        assert a.makespan == b.makespan
+        assert a.metrics.tasks_accepted == b.metrics.tasks_accepted
+        assert [str(r) for r in a.trace] == [str(r) for r in b.trace]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    victim=st.integers(min_value=0, max_value=3),
+    fault_frac=st.floats(min_value=0.05, max_value=1.2),
+)
+def test_recovery_correctness_property(seed, victim, fault_frac):
+    """THE theorem (§4.3): for any single fault at any time on any
+    processor, the recovered answer equals the fault-free answer."""
+    spec = random_tree(seed=seed, target_tasks=40, max_fanout=3, work_range=(5, 40))
+    base = run_simulation(
+        TreeWorkload(spec, "rand"),
+        SimConfig(n_processors=4, seed=seed),
+        policy=RollbackRecovery(),
+        collect_trace=False,
+    )
+    assert base.completed
+    result = run_simulation(
+        TreeWorkload(spec, "rand"),
+        SimConfig(n_processors=4, seed=seed),
+        policy=RollbackRecovery(),
+        faults=FaultSchedule.single(max(1.0, fault_frac * base.makespan), victim),
+        collect_trace=False,
+    )
+    assert result.completed, result.stall_reason
+    assert result.verified is True

@@ -1,0 +1,114 @@
+"""Tests for call-tree analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.analysis import (
+    build_call_tree,
+    render_tree,
+    shape_of,
+    stamps_of,
+)
+from repro.lang.compileprog import compile_program
+from repro.lang.interp import EvalStats, evaluate
+from repro.lang.programs import get_program
+
+
+class TestBuildCallTree:
+    def test_fib_structure(self):
+        tree = build_call_tree(get_program("fib", 3))
+        # main spawns fib(3); fib(3) spawns fib(2), fib(1); fib(2) spawns fib(1), fib(0)
+        assert tree.fn_name == "<main>"
+        assert len(tree.children) == 1
+        fib3 = tree.children[0]
+        assert fib3.args == (3,)
+        assert [c.args for c in fib3.children] == [(2,), (1,)]
+
+    def test_results_recorded(self):
+        tree = build_call_tree(get_program("fib", 5))
+        assert tree.result == 5
+        assert tree.children[0].result == 5
+
+    def test_stamps_follow_spawn_order(self):
+        tree = build_call_tree(get_program("fib", 3))
+        fib3 = tree.children[0]
+        assert fib3.stamp == (0,)
+        assert [c.stamp for c in fib3.children] == [(0, 0), (0, 1)]
+
+    def test_stamps_unique(self):
+        tree = build_call_tree(get_program("binomial", 7, 3))
+        stamps = [n.stamp for n in tree.iter_nodes()]
+        assert len(stamps) == len(set(stamps))
+
+    def test_size_matches_spawn_count(self):
+        program = get_program("tak", 6, 3, 1)
+        stats = EvalStats()
+        evaluate(program, stats=stats)
+        tree = build_call_tree(program)
+        assert tree.size() == stats.spawns + 1  # +1 for the root main task
+
+    def test_find(self):
+        tree = build_call_tree(get_program("fib", 4))
+        node = tree.find((0, 0))
+        assert node is not None and node.args == (3,)
+        assert tree.find((9, 9, 9)) is None
+
+    def test_local_applications_absent(self):
+        program = compile_program(
+            """
+            (define (sq x) (* x x))
+            (define (both a b) (+ (sq a) (local sq b)))
+            (both 2 3)
+            """
+        )
+        tree = build_call_tree(program)
+        names = [n.fn_name for n in tree.iter_nodes()]
+        # main -> both -> sq (spawned); the local sq does not appear
+        assert names.count("sq") == 1
+        assert names.count("both") == 1
+
+
+class TestShape:
+    def test_balanced_tree_sum(self):
+        tree = build_call_tree(get_program("tree-sum", 3))
+        shape = shape_of(tree)
+        # tree-sum(3) spawns 2^4 - 1 = 15 task nodes + main
+        assert shape.tasks == 16
+        assert shape.height == 4  # main -> t(3) -> t(2) -> t(1) -> t(0)
+        assert shape.max_fanout == 2
+
+    def test_leaves_count(self):
+        tree = build_call_tree(get_program("tree-sum", 2))
+        assert shape_of(tree).leaves == 4
+
+    def test_stamps_of(self):
+        tree = build_call_tree(get_program("fib", 2))
+        mapping = stamps_of(tree)
+        assert mapping[()] == "<main>"
+        assert mapping[(0,)] == "fib"
+
+
+class TestRenderTree:
+    def test_contains_stamps_and_results(self):
+        text = render_tree(build_call_tree(get_program("fib", 3)))
+        assert "root" in text
+        assert "fib[3]" in text.replace("fib[[3]]", "fib[3]") or "fib" in text
+
+    def test_max_depth_elides(self):
+        text = render_tree(build_call_tree(get_program("fib", 6)), max_depth=1)
+        assert "..." in text
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=9))
+def test_fib_tree_size_law(n):
+    """Number of spawned fib tasks equals nfib(n) (a classic identity)."""
+
+    def nfib(k):
+        return 1 if k < 2 else 1 + nfib(k - 1) + nfib(k - 2)
+
+    tree = build_call_tree(get_program("fib", n))
+    assert tree.size() == nfib(n) + 1

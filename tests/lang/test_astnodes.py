@@ -1,0 +1,117 @@
+"""Tests for AST construction from parsed forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.astnodes import (
+    And,
+    App,
+    If,
+    Lambda,
+    Let,
+    Lit,
+    Local,
+    Or,
+    Quote,
+    Var,
+    count_nodes,
+    expr_from_form,
+)
+from repro.lang.sexpr import parse_one
+
+
+def compile_expr(src: str):
+    return expr_from_form(parse_one(src))
+
+
+class TestExprFromForm:
+    def test_literal(self):
+        assert compile_expr("42") == Lit(42)
+        assert compile_expr("#t") == Lit(True)
+        assert compile_expr('"s"') == Lit("s")
+
+    def test_var(self):
+        assert compile_expr("x") == Var("x")
+
+    def test_quote_lists_become_tuples(self):
+        q = compile_expr("'(1 (2 3))")
+        assert isinstance(q, Quote)
+        assert q.datum == (1, (2, 3))
+
+    def test_lambda(self):
+        lam = compile_expr("(lambda (x y) x)")
+        assert isinstance(lam, Lambda)
+        assert lam.params == ("x", "y")
+        assert lam.body == Var("x")
+
+    def test_lambda_duplicate_params(self):
+        with pytest.raises(ParseError):
+            compile_expr("(lambda (x x) x)")
+
+    def test_if(self):
+        node = compile_expr("(if #t 1 2)")
+        assert isinstance(node, If)
+        assert node.then == Lit(1)
+
+    def test_if_arity(self):
+        with pytest.raises(ParseError):
+            compile_expr("(if #t 1)")
+
+    def test_let(self):
+        node = compile_expr("(let ((x 1) (y 2)) (+ x y))")
+        assert isinstance(node, Let)
+        assert node.names == ("x", "y")
+
+    def test_let_duplicate_names(self):
+        with pytest.raises(ParseError):
+            compile_expr("(let ((x 1) (x 2)) x)")
+
+    def test_let_malformed_binding(self):
+        with pytest.raises(ParseError):
+            compile_expr("(let (x 1) x)")
+
+    def test_and_or(self):
+        assert isinstance(compile_expr("(and 1 2)"), And)
+        assert isinstance(compile_expr("(or)"), Or)
+
+    def test_local(self):
+        node = compile_expr("(local f 1 2)")
+        assert isinstance(node, Local)
+        assert node.fn == Var("f")
+        assert len(node.args) == 2
+
+    def test_local_requires_fn(self):
+        with pytest.raises(ParseError):
+            compile_expr("(local)")
+
+    def test_application(self):
+        node = compile_expr("(f 1 (g 2))")
+        assert isinstance(node, App)
+        assert isinstance(node.args[1], App)
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(ParseError):
+            compile_expr("()")
+
+    def test_special_form_names_can_be_shadowed_in_operator(self):
+        # `(quote)` with wrong arity is an error, not an application
+        with pytest.raises(ParseError):
+            compile_expr("(quote)")
+
+
+class TestCountNodes:
+    def test_leaf(self):
+        assert count_nodes(Lit(1)) == 1
+
+    def test_if_counts_all_branches(self):
+        assert count_nodes(compile_expr("(if x 1 2)")) == 4
+
+    def test_app(self):
+        assert count_nodes(compile_expr("(f 1 2)")) == 4
+
+    def test_nested(self):
+        n1 = count_nodes(compile_expr("(let ((x 1)) (+ x 2))"))
+        assert n1 == 1 + 1 + 3 + 1  # let + binding + (+ x 2) app(3 nodes)...
+        assert n1 == 6

@@ -1,0 +1,195 @@
+"""Tests for the primitive library."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ArityError, EvalError, TypeMismatchError
+from repro.lang.prims import PRIMITIVES, lookup_primitive, primitive_cost
+from repro.lang.values import Symbol
+
+
+def call(name, *args):
+    return PRIMITIVES[name].apply(tuple(args))
+
+
+class TestArithmetic:
+    def test_add_variadic(self):
+        assert call("+") == 0
+        assert call("+", 1, 2, 3) == 6
+
+    def test_sub_unary_negates(self):
+        assert call("-", 5) == -5
+        assert call("-", 10, 3, 2) == 5
+
+    def test_sub_no_args(self):
+        with pytest.raises(ArityError):
+            call("-")
+
+    def test_mul(self):
+        assert call("*") == 1
+        assert call("*", 2, 3, 4) == 24
+
+    def test_div_exact_stays_int(self):
+        assert call("/", 6, 3) == 2
+        assert isinstance(call("/", 6, 3), int)
+
+    def test_div_inexact(self):
+        assert call("/", 7, 2) == 3.5
+
+    def test_div_by_zero(self):
+        with pytest.raises(EvalError):
+            call("/", 1, 0)
+
+    def test_quotient_truncates_toward_zero(self):
+        assert call("quotient", 7, 2) == 3
+        assert call("quotient", -7, 2) == -3
+        assert call("quotient", 7, -2) == -3
+
+    def test_remainder_sign_follows_dividend(self):
+        assert call("remainder", 7, 2) == 1
+        assert call("remainder", -7, 2) == -1
+
+    def test_modulo_sign_follows_divisor(self):
+        assert call("modulo", -7, 2) == 1
+
+    @given(st.integers(-100, 100), st.integers(-100, 100).filter(lambda b: b != 0))
+    def test_quotient_remainder_law(self, a, b):
+        assert call("quotient", a, b) * b + call("remainder", a, b) == a
+
+    def test_booleans_are_not_numbers(self):
+        with pytest.raises(TypeMismatchError):
+            call("+", True, 1)
+
+    def test_min_max(self):
+        assert call("min", 3, 1, 2) == 1
+        assert call("max", 3, 1, 2) == 3
+
+    def test_expt(self):
+        assert call("expt", 2, 10) == 1024
+
+    def test_sqrt_negative(self):
+        with pytest.raises(EvalError):
+            call("sqrt", -1)
+
+    def test_floor_ceiling(self):
+        assert call("floor", 2.7) == 2
+        assert call("ceiling", 2.1) == 3
+
+
+class TestComparison:
+    def test_chained_less(self):
+        assert call("<", 1, 2, 3) is True
+        assert call("<", 1, 3, 2) is False
+
+    def test_equality_chain(self):
+        assert call("=", 2, 2, 2) is True
+        assert call("=", 2, 3) is False
+
+    def test_comparison_needs_two(self):
+        with pytest.raises(ArityError):
+            call("<", 1)
+
+    def test_not(self):
+        assert call("not", False) is True
+        assert call("not", 0) is False  # only #f is false
+
+    def test_eq_structural(self):
+        assert call("eq?", (1, 2), (1, 2)) is True
+        assert call("eq?", True, 1) is False
+
+    def test_zero_even_odd(self):
+        assert call("zero?", 0) is True
+        assert call("even?", 4) is True
+        assert call("odd?", 3) is True
+
+
+class TestLists:
+    def test_cons_car_cdr(self):
+        lst = call("cons", 1, (2, 3))
+        assert lst == (1, 2, 3)
+        assert call("car", lst) == 1
+        assert call("cdr", lst) == (2, 3)
+
+    def test_car_empty(self):
+        with pytest.raises(EvalError):
+            call("car", ())
+
+    def test_cdr_empty(self):
+        with pytest.raises(EvalError):
+            call("cdr", ())
+
+    def test_cons_onto_non_list(self):
+        with pytest.raises(TypeMismatchError):
+            call("cons", 1, 2)
+
+    def test_list_length_null(self):
+        assert call("list", 1, 2) == (1, 2)
+        assert call("length", (1, 2, 3)) == 3
+        assert call("null?", ()) is True
+        assert call("null?", (1,)) is False
+
+    def test_pair_predicates(self):
+        assert call("pair?", (1,)) is True
+        assert call("pair?", ()) is False
+        assert call("list?", ()) is True
+        assert call("list?", 3) is False
+
+    def test_append_reverse(self):
+        assert call("append", (1,), (2, 3), ()) == (1, 2, 3)
+        assert call("reverse", (1, 2, 3)) == (3, 2, 1)
+
+    def test_nth(self):
+        assert call("nth", (10, 20, 30), 1) == 20
+        with pytest.raises(EvalError):
+            call("nth", (10,), 5)
+
+    def test_range_take_drop(self):
+        assert call("range", 1, 4) == (1, 2, 3)
+        assert call("take", (1, 2, 3), 2) == (1, 2)
+        assert call("drop", (1, 2, 3), 2) == (3,)
+
+    @given(st.lists(st.integers(), max_size=10), st.lists(st.integers(), max_size=10))
+    def test_append_length_law(self, a, b):
+        assert call("length", call("append", tuple(a), tuple(b))) == len(a) + len(b)
+
+    @given(st.lists(st.integers(), max_size=10))
+    def test_reverse_involution(self, items):
+        lst = tuple(items)
+        assert call("reverse", call("reverse", lst)) == lst
+
+
+class TestPredicates:
+    def test_number(self):
+        assert call("number?", 1) is True
+        assert call("number?", 1.5) is True
+        assert call("number?", True) is False
+
+    def test_boolean(self):
+        assert call("boolean?", False) is True
+        assert call("boolean?", 0) is False
+
+    def test_symbol_vs_string(self):
+        assert call("symbol?", Symbol("x")) is True
+        assert call("symbol?", "x") is False
+        assert call("string?", "x") is True
+        assert call("string?", Symbol("x")) is False
+
+
+class TestCost:
+    def test_default_cost(self):
+        prim = lookup_primitive("+")
+        assert primitive_cost(prim, (1, 2)) == 1
+
+    def test_work_cost_scales(self):
+        prim = lookup_primitive("work")
+        assert primitive_cost(prim, (50,)) == 50
+        assert primitive_cost(prim, (0,)) == 1
+
+    def test_work_is_identity(self):
+        assert call("work", 7) == 7
+
+    def test_lookup_missing(self):
+        assert lookup_primitive("no-such-prim") is None

@@ -1,0 +1,65 @@
+"""Tests for the benchmark program library (answers vs ground truth)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.interp import EvalStats, evaluate
+from repro.lang.programs import PROGRAMS, expected_answer, get_program
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_default_instance_matches_reference(name):
+    program = get_program(name)
+    assert evaluate(program) == expected_answer(name)
+
+
+@pytest.mark.parametrize(
+    "name,args",
+    [
+        ("fib", (0,)),
+        ("fib", (1,)),
+        ("fib", (12,)),
+        ("nfib", (8,)),
+        ("tak", (6, 3, 1)),
+        ("binomial", (8, 3)),
+        ("binomial", (6, 0)),
+        ("tree-sum", (1,)),
+        ("tree-sum", (4,)),
+        ("sum-range", (5, 25)),
+        ("matvec", (4,)),
+        ("nqueens", (4,)),
+        ("nqueens", (6,)),
+    ],
+)
+def test_parameterized_instances(name, args):
+    assert evaluate(get_program(name, *args)) == expected_answer(name, *args)
+
+
+def test_qsort_sorts():
+    values = (5, 1, 4, 4, 2)
+    assert evaluate(get_program("qsort", values)) == tuple(sorted(values))
+
+
+def test_qsort_empty():
+    assert evaluate(get_program("qsort", ())) == ()
+
+
+def test_nqueens_known_counts():
+    # OEIS A000170: 4->2, 5->10, 6->4
+    assert expected_answer("nqueens", 4) == 2
+    assert expected_answer("nqueens", 5) == 10
+    assert expected_answer("nqueens", 6) == 4
+
+
+def test_every_program_spawns_tasks():
+    """Each library program must exercise distributed spawning."""
+    for name in PROGRAMS:
+        stats = EvalStats()
+        evaluate(get_program(name), stats=stats)
+        assert stats.spawns > 0, f"{name} spawns no tasks"
+
+
+def test_descriptions_present():
+    for name, prog in PROGRAMS.items():
+        assert prog.description, f"{name} lacks a description"

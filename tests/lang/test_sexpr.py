@@ -1,0 +1,143 @@
+"""Tests for the s-expression reader."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.lang.sexpr import parse_many, parse_one, tokenize, unparse
+from repro.lang.values import Symbol
+
+
+class TestTokenize:
+    def test_parens_and_atoms(self):
+        texts = [t.text for t in tokenize("(+ 1 2)")]
+        assert texts == ["(", "+", "1", "2", ")"]
+
+    def test_comments_skipped(self):
+        texts = [t.text for t in tokenize("1 ; comment\n2")]
+        assert texts == ["1", "2"]
+
+    def test_positions(self):
+        tokens = list(tokenize("(a\n  b)"))
+        b = [t for t in tokens if t.text == "b"][0]
+        assert (b.line, b.column) == (2, 3)
+
+    def test_string_token(self):
+        tokens = list(tokenize('"hi there"'))
+        assert tokens[0].text == '"hi there'
+
+    def test_string_escapes(self):
+        (tok,) = tokenize(r'"a\nb\"c"')
+        assert tok.text == '"a\nb"c'
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            list(tokenize('"oops'))
+
+
+class TestParse:
+    def test_atoms(self):
+        assert parse_one("42") == 42
+        assert parse_one("-7") == -7
+        assert parse_one("3.5") == 3.5
+        assert parse_one("#t") is True
+        assert parse_one("#f") is False
+        assert parse_one("true") is True
+        assert parse_one('"hello"') == "hello"
+
+    def test_symbol(self):
+        sym = parse_one("foo-bar?")
+        assert isinstance(sym, Symbol)
+        assert sym == "foo-bar?"
+
+    def test_string_is_not_symbol(self):
+        s = parse_one('"foo"')
+        assert not isinstance(s, Symbol)
+
+    def test_nested_lists(self):
+        assert parse_one("(a (b 1) ())") == [
+            Symbol("a"),
+            [Symbol("b"), 1],
+            [],
+        ]
+
+    def test_quote_sugar(self):
+        assert parse_one("'x") == [Symbol("quote"), Symbol("x")]
+        assert parse_one("'(1 2)") == [Symbol("quote"), [1, 2]]
+
+    def test_parse_many(self):
+        assert parse_many("1 2 3") == [1, 2, 3]
+
+    def test_parse_one_rejects_extra(self):
+        with pytest.raises(ParseError):
+            parse_one("1 2")
+
+    def test_unbalanced_open(self):
+        with pytest.raises(ParseError):
+            parse_one("(a (b)")
+
+    def test_unbalanced_close(self):
+        with pytest.raises(ParseError):
+            parse_one("a)")
+        with pytest.raises(ParseError):
+            parse_many(")")
+
+    def test_empty_input(self):
+        assert parse_many("   ; nothing\n") == []
+        with pytest.raises(ParseError):
+            parse_one("")
+
+    def test_negative_vs_symbol(self):
+        assert parse_one("-") == Symbol("-")
+        assert parse_one("-5") == -5
+
+
+# Strategy for round-trippable forms.
+_atoms = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.text(
+        alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz-+*/<>=?!"),
+        min_size=1,
+        max_size=8,
+    )
+    .filter(lambda s: not _is_number_like(s))
+    .filter(lambda s: s not in ("true", "false"))  # reserved spellings
+    .map(Symbol),
+)
+
+
+def _is_number_like(s: str) -> bool:
+    try:
+        int(s)
+        return True
+    except ValueError:
+        pass
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+_forms = st.recursive(_atoms, lambda children: st.lists(children, max_size=4), max_leaves=20)
+
+
+class TestRoundTrip:
+    @given(_forms)
+    def test_unparse_parse_identity(self, form):
+        assert parse_one(unparse(form)) == form
+
+    @given(st.text(alphabet=" ()'ab12;\n\"\\", max_size=40))
+    def test_reader_is_total(self, text):
+        """Any input either parses or raises ParseError — never crashes."""
+        try:
+            parse_many(text)
+        except ParseError:
+            pass
+
+    def test_unparse_string_escaping(self):
+        assert parse_one(unparse('a"b\nc')) == 'a"b\nc'

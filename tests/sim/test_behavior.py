@@ -1,0 +1,255 @@
+"""Tests for task behaviors: the in-task evaluator and tree execution.
+
+The critical property tested here is **stamp stability**: re-running a
+behavior with child results delivered in a different order must issue the
+same demands under the same digits (paper §3.1's structural uniqueness,
+which splice inheritance relies on)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packets import WorkSpec
+from repro.errors import ArityError, TypeMismatchError, UnboundVariableError
+from repro.lang.compileprog import compile_program
+from repro.lang.interp import evaluate
+from repro.lang.programs import get_program
+from repro.sim.behavior import (
+    Advance,
+    InterpBehavior,
+    TreeBehavior,
+    TreeSpec,
+    TreeTaskSpec,
+)
+
+
+def drive_to_completion(behavior, resolver):
+    """Run a behavior, resolving demands via ``resolver(work) -> value``,
+    delivering results in the order demands were issued."""
+    delivered = {}
+    pending = []
+    for _ in range(10_000):
+        adv = behavior.advance(delivered)
+        delivered = {}
+        if adv.completed:
+            return adv.value
+        pending.extend(adv.demands)
+        if not pending:
+            if adv.yielded:
+                continue
+            raise AssertionError("behavior blocked with no pending demands")
+        demand = pending.pop(0)
+        delivered = {demand.digit: resolver(demand.work)}
+    raise AssertionError("behavior did not complete")
+
+
+def interp_resolver(program):
+    """Resolve a demanded application by sequential evaluation."""
+    from repro.lang.env import EMPTY_ENV
+    from repro.lang.interp import EvalStats, _Interp
+
+    def resolve(work: WorkSpec):
+        fdef = program.defs[work.fn_name]
+        interp = _Interp(program, EvalStats())
+        return interp.eval(fdef.body, EMPTY_ENV.extend(fdef.params, work.args))
+
+    return resolve
+
+
+class TestInterpBehavior:
+    def test_local_expression_completes_in_one_advance(self):
+        program = compile_program("(+ 1 (* 2 3))")
+        behavior = InterpBehavior.for_work(program, WorkSpec(kind="main"))
+        adv = behavior.advance({})
+        assert adv.completed and adv.value == 7
+        assert adv.steps > 0
+
+    def test_demands_for_global_applications(self):
+        program = compile_program(
+            "(define (f x) (* x x)) (+ (f 2) (f 3))"
+        )
+        behavior = InterpBehavior.for_work(program, WorkSpec(kind="main"))
+        adv = behavior.advance({})
+        assert not adv.completed
+        assert len(adv.demands) == 2
+        assert all(d.work.fn_name == "f" for d in adv.demands)
+        # distinct structural digits
+        assert len({d.digit for d in adv.demands}) == 2
+
+    def test_completes_with_delivered_results(self):
+        program = compile_program(
+            "(define (f x) (* x x)) (+ (f 2) (f 3))"
+        )
+        behavior = InterpBehavior.for_work(program, WorkSpec(kind="main"))
+        adv = behavior.advance({})
+        results = {d.digit: d.work.args[0] ** 2 for d in adv.demands}
+        adv2 = behavior.advance(results)
+        assert adv2.completed and adv2.value == 13
+
+    def test_matches_sequential_oracle(self):
+        program = get_program("fib", 7)
+        behavior = InterpBehavior.for_work(program, WorkSpec(kind="main"))
+        value = drive_to_completion(behavior, interp_resolver(program))
+        assert value == evaluate(program)
+
+    def test_apply_work_spec(self):
+        program = compile_program("(define (g a b) (- a b)) (g 1 2)")
+        behavior = InterpBehavior.for_work(
+            program, WorkSpec(kind="apply", fn_name="g", args=(10, 4))
+        )
+        adv = behavior.advance({})
+        assert adv.completed and adv.value == 6
+
+    def test_apply_arity_checked(self):
+        program = compile_program("(define (g a) a) (g 1)")
+        with pytest.raises(ArityError):
+            InterpBehavior.for_work(program, WorkSpec(kind="apply", fn_name="g", args=(1, 2)))
+
+    def test_unknown_work_kind(self):
+        program = compile_program("1")
+        with pytest.raises(ValueError):
+            InterpBehavior.for_work(program, WorkSpec(kind="tree", tree_node=0))
+
+    def test_if_demands_only_taken_branch(self):
+        program = compile_program(
+            """
+            (define (f x) x)
+            (define (g x) x)
+            (if #t (f 1) (g 2))
+            """
+        )
+        behavior = InterpBehavior.for_work(program, WorkSpec(kind="main"))
+        adv = behavior.advance({})
+        assert [d.work.fn_name for d in adv.demands] == ["f"]
+
+    def test_errors_propagate(self):
+        program = compile_program("(3 4)")
+        behavior = InterpBehavior.for_work(program, WorkSpec(kind="main"))
+        with pytest.raises(TypeMismatchError):
+            behavior.advance({})
+
+    def test_stamp_stability_under_delivery_orders(self):
+        """Digits are identical whatever order results arrive in."""
+        program = compile_program(
+            """
+            (define (f x) (* x 2))
+            (define (g x) (+ x 1))
+            (+ (f 1) (g 2) (f (g 3)))
+            """
+        )
+
+        def demands_seen(order):
+            behavior = InterpBehavior.for_work(program, WorkSpec(kind="main"))
+            seen = {}
+            pending = {}
+            delivered = {}
+            for _ in range(50):
+                adv = behavior.advance(delivered)
+                delivered = {}
+                if adv.completed:
+                    return seen, adv.value
+                for d in adv.demands:
+                    seen[d.digit] = (d.work.fn_name, d.work.args)
+                    pending[d.digit] = d
+                if not pending:
+                    raise AssertionError("blocked")
+                # deliver per requested order
+                keys = sorted(pending, key=repr, reverse=(order == "reversed"))
+                digit = keys[0]
+                demand = pending.pop(digit)
+                fdef = program.defs[demand.work.fn_name]
+                from repro.lang.env import EMPTY_ENV
+                from repro.lang.interp import _Interp, EvalStats
+
+                interp = _Interp(program, EvalStats())
+                delivered = {
+                    digit: interp.eval(
+                        fdef.body, EMPTY_ENV.extend(fdef.params, demand.work.args)
+                    )
+                }
+            raise AssertionError("did not complete")
+
+        seen_fwd, value_fwd = demands_seen("forward")
+        seen_rev, value_rev = demands_seen("reversed")
+        assert seen_fwd == seen_rev
+        assert value_fwd == value_rev
+
+    def test_reexecution_identical_demands(self):
+        """A fresh activation of the same packet issues identical
+        first-round demands — the functional-checkpoint contract."""
+        program = get_program("tak", 6, 3, 1)
+        b1 = InterpBehavior.for_work(program, WorkSpec(kind="main"))
+        b2 = InterpBehavior.for_work(program, WorkSpec(kind="main"))
+        a1, a2 = b1.advance({}), b2.advance({})
+        assert [(d.digit, d.work) for d in a1.demands] == [
+            (d.digit, d.work) for d in a2.demands
+        ]
+
+
+class TestTreeBehavior:
+    def _spec(self):
+        return TreeSpec(
+            {
+                0: TreeTaskSpec(0, 10, (1, 2), value=5),
+                1: TreeTaskSpec(1, 3, (), value=7),
+                2: TreeTaskSpec(2, 4, (), value=11),
+            }
+        )
+
+    def test_leaf_completes_immediately(self):
+        behavior = TreeBehavior(self._spec(), 1)
+        adv = behavior.advance({})
+        assert adv.completed and adv.value == 7
+        assert adv.steps == 3
+
+    def test_inner_demands_children_in_order(self):
+        behavior = TreeBehavior(self._spec(), 0)
+        adv = behavior.advance({})
+        assert not adv.completed
+        assert [d.digit for d in adv.demands] == [0, 1]
+        assert [d.work.tree_node for d in adv.demands] == [1, 2]
+
+    def test_combines_after_all_children(self):
+        behavior = TreeBehavior(self._spec(), 0)
+        behavior.advance({})
+        assert not behavior.advance({0: 7}).completed
+        adv = behavior.advance({1: 11})
+        assert adv.completed and adv.value == 5 + 7 + 11
+
+    def test_expected_value_consistent(self):
+        spec = self._spec()
+        behavior = TreeBehavior(spec, 0)
+        behavior.advance({})
+        adv = behavior.advance({0: 7, 1: 11})
+        assert adv.value == spec.expected_value()
+
+    def test_chunked_work_yields(self):
+        spec = TreeSpec({0: TreeTaskSpec(0, 100, (), chunk=30)})
+        behavior = TreeBehavior(spec, 0)
+        advances = []
+        for _ in range(10):
+            adv = behavior.advance({})
+            advances.append(adv)
+            if adv.completed:
+                break
+        yields = [a for a in advances if a.yielded]
+        assert len(yields) == 3
+        assert sum(a.steps for a in advances) == 100
+        assert advances[-1].completed
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            TreeSpec({1: TreeTaskSpec(1, 1, ())})  # no root 0
+        with pytest.raises(ValueError):
+            TreeSpec({0: TreeTaskSpec(0, 1, (9,))})  # dangling child
+
+    def test_spec_stats(self):
+        spec = self._spec()
+        assert spec.expected_value() == 23
+        assert spec.depth() == 1
+        assert len(spec) == 3
+        assert spec.total_work() == 10 + 1 + 3 + 4  # root work+post, leaves

@@ -1,0 +1,107 @@
+"""Tests for load-balancing schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core import NoFaultTolerance
+from repro.errors import SchedulingError
+from repro.sim import FaultSchedule, TreeWorkload
+from repro.sim.loadbalance import make_scheduler
+from repro.sim.machine import Machine, run_simulation
+from repro.sim.topology import Topology
+from repro.util.rng import RngHub
+from repro.workloads.trees import balanced_tree, wide_tree
+
+
+def machine_with(scheduler_name, n=4, workload=None, seed=0):
+    return Machine(
+        SimConfig(n_processors=n, seed=seed, scheduler=scheduler_name),
+        workload if workload is not None else TreeWorkload(wide_tree(24, 60), "wide"),
+        NoFaultTolerance(),
+    )
+
+
+class TestMakeScheduler:
+    def test_known_names(self):
+        topo = Topology("complete", 4)
+        for name in ("gradient", "random", "round_robin", "local", "static"):
+            assert make_scheduler(name, topo, RngHub(0)).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(SchedulingError):
+            make_scheduler("magic", Topology("ring", 3), RngHub(0))
+
+
+class TestPlacementSpread:
+    @pytest.mark.parametrize("name", ["gradient", "random", "round_robin", "static"])
+    def test_spreads_wide_fanout(self, name):
+        """24 independent leaves must not all land on one processor."""
+        m = machine_with(name)
+        result = m.run()
+        assert result.completed
+        used = {
+            t.node
+            for t in m.instance_registry.values()
+            if t.node >= 0 and t.packet.work.tree_node not in (None, 0)
+        }
+        assert len(used) >= 3
+
+    def test_local_keeps_everything_on_origin(self):
+        m = machine_with("local")
+        result = m.run()
+        assert result.completed
+        # with local placement the first processor hosts all real tasks
+        used = {t.node for t in m.instance_registry.values() if t.node >= 0}
+        assert used == {0}
+
+    def test_gradient_prefers_idle(self):
+        m = machine_with("gradient")
+        result = m.run()
+        util = result.metrics.utilization(result.makespan)
+        busy = [u for node, u in util.items() if node >= 0]
+        # no processor should be starved on an embarrassingly parallel load
+        assert min(busy) > 0.0
+
+    def test_static_is_stamp_deterministic(self):
+        placements = []
+        for _ in range(2):
+            m = machine_with("static")
+            m.run()
+            placements.append(
+                sorted(
+                    (str(t.stamp), t.node)
+                    for t in m.instance_registry.values()
+                    if t.node >= 0
+                )
+            )
+        assert placements[0] == placements[1]
+
+
+class TestExclusion:
+    def test_dead_nodes_never_chosen(self):
+        result = run_simulation(
+            TreeWorkload(balanced_tree(4, 2, 20), "bal"),
+            SimConfig(n_processors=4, seed=0, scheduler="random"),
+            policy=NoFaultTolerance(),
+            faults=FaultSchedule.single(10_000.0, 1),  # never fires
+        )
+        assert result.completed
+
+    def test_no_alive_processors_raises(self):
+        m = machine_with("gradient", n=2)
+        m._start_root_host()
+        m.queue.run(until=lambda: m.metrics.tasks_accepted >= 1, max_events=2000)
+        for node in m.processors():
+            node.kill()
+        from repro.core.packets import TaskPacket, ReturnAddress, WorkSpec
+        from repro.core.stamps import LevelStamp
+
+        packet = TaskPacket(
+            stamp=LevelStamp.of(0, 5),
+            work=WorkSpec(kind="tree", tree_node=0),
+            parent=ReturnAddress(0, 0),
+        )
+        with pytest.raises(SchedulingError):
+            m.scheduler.place(packet, 0, set())

@@ -1,0 +1,129 @@
+"""Tests for interconnection topologies and routing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.packets import SUPER_ROOT_NODE
+from repro.errors import TopologyError
+from repro.sim.topology import Topology
+
+KINDS = ("ring", "complete", "star", "mesh", "hypercube")
+
+
+def sizes_for(kind: str):
+    if kind == "hypercube":
+        return [1, 2, 4, 8, 16]
+    return [1, 2, 3, 4, 7, 9]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_builds_connected(self, kind):
+        for n in sizes_for(kind):
+            topo = Topology(kind, n)
+            for i in range(n):
+                for j in range(n):
+                    assert topo.hops(i, j) >= 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(TopologyError):
+            Topology("torus", 4)
+
+    def test_zero_nodes(self):
+        with pytest.raises(TopologyError):
+            Topology("ring", 0)
+
+    def test_hypercube_requires_power_of_two(self):
+        with pytest.raises(TopologyError):
+            Topology("hypercube", 6)
+
+
+class TestDistances:
+    def test_complete_all_one_hop(self):
+        topo = Topology("complete", 5)
+        assert all(
+            topo.hops(i, j) == 1 for i in range(5) for j in range(5) if i != j
+        )
+
+    def test_ring_distance(self):
+        topo = Topology("ring", 6)
+        assert topo.hops(0, 3) == 3
+        assert topo.hops(0, 5) == 1
+        assert topo.diameter == 3
+
+    def test_star_center(self):
+        topo = Topology("star", 5)
+        assert topo.hops(0, 4) == 1
+        assert topo.hops(1, 2) == 2
+        assert topo.diameter == 2
+
+    def test_hypercube_distance_is_hamming(self):
+        topo = Topology("hypercube", 8)
+        assert topo.hops(0b000, 0b111) == 3
+        assert topo.hops(0b001, 0b011) == 1
+        assert topo.diameter == 3
+
+    def test_mesh_manhattan(self):
+        topo = Topology("mesh", 9)  # 3x3
+        assert topo.hops(0, 8) == 4
+        assert topo.hops(0, 4) == 2
+
+    def test_self_distance_zero(self):
+        topo = Topology("ring", 4)
+        assert all(topo.hops(i, i) == 0 for i in range(4))
+
+    def test_super_root_one_hop(self):
+        topo = Topology("ring", 6)
+        assert topo.hops(SUPER_ROOT_NODE, 3) == 1
+        assert topo.hops(3, SUPER_ROOT_NODE) == 1
+        assert topo.hops(SUPER_ROOT_NODE, SUPER_ROOT_NODE) == 0
+
+
+class TestNeighbours:
+    def test_ring_two_neighbours(self):
+        topo = Topology("ring", 5)
+        for i in range(5):
+            assert len(topo.neighbours(i)) == 2
+
+    def test_two_node_ring_single_edge(self):
+        topo = Topology("ring", 2)
+        assert topo.neighbours(0) == [1]
+        assert topo.hops(0, 1) == 1
+
+    def test_super_root_neighbours_everyone(self):
+        topo = Topology("mesh", 6)
+        assert topo.neighbours(SUPER_ROOT_NODE) == list(range(6))
+
+    def test_neighbours_sorted(self):
+        topo = Topology("hypercube", 8)
+        for i in range(8):
+            ns = topo.neighbours(i)
+            assert ns == sorted(ns)
+
+
+@given(
+    kind=st.sampled_from(["ring", "complete", "star", "mesh"]),
+    n=st.integers(min_value=2, max_value=12),
+)
+def test_metric_properties(kind, n):
+    """Hop counts form a metric: symmetry and triangle inequality."""
+    topo = Topology(kind, n)
+    for a in range(n):
+        for b in range(n):
+            assert topo.hops(a, b) == topo.hops(b, a)
+            for c in range(n):
+                assert topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c)
+
+
+@given(
+    kind=st.sampled_from(["ring", "complete", "star", "mesh"]),
+    n=st.integers(min_value=2, max_value=12),
+)
+def test_neighbour_distance_one(kind, n):
+    topo = Topology(kind, n)
+    for a in range(n):
+        for b in topo.neighbours(a):
+            assert topo.hops(a, b) == 1

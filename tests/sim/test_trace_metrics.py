@@ -1,0 +1,121 @@
+"""Tests for traces, metrics, and failure schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core import RollbackRecovery
+from repro.sim import Fault, FaultSchedule, TreeWorkload
+from repro.sim.machine import run_simulation
+from repro.sim.metrics import Metrics
+from repro.sim.trace import Trace, TraceRecord
+from repro.workloads.trees import balanced_tree
+
+
+class TestTrace:
+    def test_emit_and_query(self):
+        trace = Trace()
+        trace.emit(1.0, 0, "spawn", stamp="0")
+        trace.emit(2.0, 1, "task_accepted", stamp="0")
+        trace.emit(3.0, 1, "task_completed", stamp="0")
+        assert len(trace) == 3
+        assert trace.count("spawn") == 1
+        assert trace.first("task_accepted").time == 2.0
+        assert trace.last("task_completed").node == 1
+        assert len(trace.of_kind("spawn", "task_completed")) == 2
+
+    def test_unknown_kind_asserts(self):
+        trace = Trace()
+        with pytest.raises(AssertionError):
+            trace.emit(1.0, 0, "not-a-kind")
+
+    def test_disabled_trace_records_nothing(self):
+        trace = Trace(enabled=False)
+        trace.emit(1.0, 0, "spawn")
+        assert len(trace) == 0
+
+    def test_where_and_render(self):
+        trace = Trace()
+        trace.emit(1.0, 0, "spawn", stamp="0.1")
+        trace.emit(2.0, 2, "spawn", stamp="0.2")
+        assert len(trace.where(lambda r: r.node == 2)) == 1
+        text = trace.render(kinds=("spawn",), limit=1)
+        assert "spawn" in text and "0.1" in text
+
+    def test_machine_trace_disabled_for_benches(self):
+        result = run_simulation(
+            TreeWorkload(balanced_tree(3, 2, 10), "bal"),
+            SimConfig(n_processors=3, seed=0),
+            policy=RollbackRecovery(),
+            collect_trace=False,
+        )
+        assert result.completed
+        assert len(result.trace) == 0
+
+
+class TestMetrics:
+    def test_message_recording(self):
+        m = Metrics()
+        m.record_message("ResultMsg", 2)
+        m.record_message("ResultMsg", 1)
+        m.record_message("PlacementAck", 1)
+        assert m.messages_total == 3
+        assert m.message_hops == 4
+        assert m.messages_by_type["ResultMsg"] == 2
+
+    def test_busy_and_utilization(self):
+        m = Metrics()
+        m.add_busy(0, 50.0)
+        m.add_busy(0, 25.0)
+        m.add_busy(1, 100.0)
+        util = m.utilization(100.0)
+        assert util[0] == pytest.approx(0.75)
+        assert util[1] == pytest.approx(1.0)
+        assert m.utilization(0.0) == {0: 0.0, 1: 0.0}
+
+    def test_detection_latency_none_without_failure(self):
+        assert Metrics().detection_latency() is None
+
+    def test_summary_rows_label_value_pairs(self):
+        rows = Metrics().summary_rows()
+        assert all(len(r) == 2 for r in rows)
+
+
+class TestFaultSchedule:
+    def test_single(self):
+        schedule = FaultSchedule.single(10.0, 2)
+        assert len(schedule) == 1
+        assert schedule.nodes() == [2]
+
+    def test_of_sorts_by_time(self):
+        schedule = FaultSchedule.of(Fault(20.0, 1), Fault(5.0, 0))
+        assert [f.time for f in schedule] == [5.0, 20.0]
+
+    def test_none(self):
+        assert len(FaultSchedule.none()) == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Fault(-1.0, 0)
+
+    def test_super_root_not_failable(self):
+        with pytest.raises(ValueError):
+            Fault(1.0, -1)
+
+    def test_duplicate_fault_ignored_at_injection(self):
+        result = run_simulation(
+            TreeWorkload(balanced_tree(3, 2, 20), "bal"),
+            SimConfig(n_processors=4, seed=0),
+            policy=RollbackRecovery(),
+            faults=FaultSchedule.of(Fault(100.0, 1), Fault(150.0, 1)),
+        )
+        assert result.completed
+        assert result.metrics.failures_injected == 1
+
+
+class TestTraceRecordRendering:
+    def test_str_contains_fields(self):
+        record = TraceRecord(12.5, 3, "spawn", {"stamp": "0.1"})
+        text = str(record)
+        assert "12.5" in text and "spawn" in text and "0.1" in text

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import _parse_fault, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_workloads_and_policies(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "fib-10" in text
+        assert "splice" in text
+
+
+class TestRun:
+    def test_fault_free_run(self):
+        code, text = run_cli("run", "fib-10", "--policy", "none")
+        assert code == 0
+        assert "completed" in text and "verified" in text
+
+    def test_run_with_fault_recovers(self):
+        code, text = run_cli(
+            "run", "fib-10", "--policy", "splice", "--fault", "600:2", "--seed", "7"
+        )
+        assert code == 0
+        assert "verified" in text
+
+    def test_run_with_fault_no_ft_fails_exit_code(self):
+        code, text = run_cli(
+            "run", "balanced-d5-f2", "--policy", "none", "--fault", "150:1"
+        )
+        assert code == 1
+        assert "STALLED" in text
+
+    def test_trace_flag(self):
+        code, text = run_cli(
+            "run", "fib-10", "--policy", "rollback", "--fault", "600:2", "--trace"
+        )
+        assert code == 0
+        assert "recovery_reissue" in text
+
+    def test_replicated_policy(self):
+        code, text = run_cli(
+            "run",
+            "balanced-d3-f4",
+            "--policy",
+            "replicated",
+            "--replication",
+            "3",
+            "--processors",
+            "5",
+            "--fault",
+            "100:1",
+        )
+        assert code == 0
+
+    def test_unknown_workload(self):
+        code, _ = run_cli("run", "no-such-workload")
+        assert code == 2
+
+    def test_invalid_config(self):
+        code, _ = run_cli("run", "fib-10", "--processors", "6", "--topology", "hypercube")
+        assert code == 2
+
+    def test_fault_on_unknown_processor(self):
+        code, _ = run_cli("run", "fib-10", "--fault", "100:9")
+        assert code == 2
+
+
+class TestFaultParsing:
+    def test_parse(self):
+        fault = _parse_fault("600:2")
+        assert fault.time == 600.0 and fault.node == 2
+
+    def test_reject_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_fault("nope")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_fault("600")

@@ -1,0 +1,28 @@
+"""Tests for namespaced ID generation."""
+
+from repro.util.idgen import IdGenerator
+
+
+class TestIdGenerator:
+    def test_monotonic_from_zero(self):
+        gen = IdGenerator()
+        assert [gen.next(), gen.next(), gen.next()] == [0, 1, 2]
+
+    def test_namespaces_independent(self):
+        gen = IdGenerator()
+        assert gen.next("a") == 0
+        assert gen.next("b") == 0
+        assert gen.next("a") == 1
+
+    def test_peek_does_not_advance(self):
+        gen = IdGenerator()
+        assert gen.peek("x") == 0
+        assert gen.peek("x") == 0
+        assert gen.next("x") == 0
+        assert gen.peek("x") == 1
+
+    def test_reset(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.reset()
+        assert gen.next("a") == 0

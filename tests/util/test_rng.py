@@ -1,0 +1,90 @@
+"""Tests for named, seeded RNG streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import RngHub, _derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert _derive_seed(1, "a") == _derive_seed(1, "a")
+
+    def test_name_sensitivity(self):
+        assert _derive_seed(1, "a") != _derive_seed(1, "b")
+
+    def test_seed_sensitivity(self):
+        assert _derive_seed(1, "a") != _derive_seed(2, "a")
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    def test_range(self, seed, name):
+        value = _derive_seed(seed, name)
+        assert 0 <= value < 2**64
+
+
+class TestRngHub:
+    def test_same_seed_same_streams(self):
+        a = RngHub(7).stream("x").integers(0, 1000, size=10)
+        b = RngHub(7).stream("x").integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_stream_identity_cached(self):
+        hub = RngHub(7)
+        assert hub.stream("x") is hub.stream("x")
+
+    def test_streams_independent_of_creation_order(self):
+        hub1 = RngHub(3)
+        hub2 = RngHub(3)
+        _ = hub1.stream("first")  # consume nothing, just create
+        x1 = hub1.stream("second").integers(0, 10**9)
+        x2 = hub2.stream("second").integers(0, 10**9)
+        assert x1 == x2
+
+    def test_draws_do_not_cross_streams(self):
+        hub1 = RngHub(3)
+        hub2 = RngHub(3)
+        hub1.stream("noise").integers(0, 10, size=100)  # burn one stream
+        a = hub1.stream("signal").integers(0, 10**9)
+        b = hub2.stream("signal").integers(0, 10**9)
+        assert a == b
+
+    def test_spawn_differs_from_parent(self):
+        hub = RngHub(3)
+        child = hub.spawn("rep0")
+        assert child.seed != hub.seed
+        assert child.stream("x").integers(0, 10**9) != hub.stream("x").integers(
+            0, 10**9
+        )
+
+    def test_spawn_reproducible(self):
+        assert RngHub(3).spawn("r").seed == RngHub(3).spawn("r").seed
+
+    def test_choice(self):
+        hub = RngHub(0)
+        options = ["a", "b", "c"]
+        assert hub.choice("c", options) in options
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RngHub(0).choice("c", [])
+
+    def test_uniform_bounds(self):
+        hub = RngHub(5)
+        for _ in range(100):
+            v = hub.uniform("u", 2.0, 3.0)
+            assert 2.0 <= v < 3.0
+
+    def test_integers_bounds(self):
+        hub = RngHub(5)
+        for _ in range(100):
+            v = hub.integers("i", -3, 4)
+            assert -3 <= v < 4
+            assert isinstance(v, int)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngHub("seed")  # type: ignore[arg-type]

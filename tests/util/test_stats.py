@@ -1,0 +1,113 @@
+"""Tests for summary statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    Summary,
+    confidence_interval,
+    geometric_mean,
+    ratio_of_means,
+    summarize,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([3.0])
+        assert s.n == 1
+        assert s.mean == 3.0
+        assert s.std == 0.0
+        assert s.minimum == s.maximum == s.median == 3.0
+
+    def test_known_sample(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_bounds_property(self, values):
+        s = summarize(values)
+        # float summation can place the mean a few ulp outside [min, max]
+        tol = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+        assert s.minimum <= s.median <= s.maximum
+        assert s.minimum - tol <= s.mean <= s.maximum + tol
+        assert s.n == len(values)
+
+    def test_str_contains_fields(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "mean" in text and "n=2" in text
+
+
+class TestConfidenceInterval:
+    def test_single_point_degenerate(self):
+        lo, hi = confidence_interval([5.0])
+        assert lo == hi == 5.0
+
+    def test_contains_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        lo, hi = confidence_interval(values)
+        assert lo <= np.mean(values) <= hi
+
+    def test_wider_at_higher_level(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        lo95, hi95 = confidence_interval(values, 0.95)
+        lo99, hi99 = confidence_interval(values, 0.99)
+        assert hi99 - lo99 > hi95 - lo95
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], level=1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+    @given(st.lists(finite_floats, min_size=2, max_size=30))
+    def test_symmetric_around_mean(self, values):
+        lo, hi = confidence_interval(values)
+        mean = float(np.mean(values))
+        assert (mean - lo) == pytest.approx(hi - mean, abs=1e-9 + abs(mean) * 1e-9)
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) <= g * (1 + 1e-9)
+        assert g <= max(values) * (1 + 1e-9)
+
+
+class TestRatioOfMeans:
+    def test_known(self):
+        assert ratio_of_means([2.0, 4.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_zero_denominator(self):
+        with pytest.raises(ZeroDivisionError):
+            ratio_of_means([1.0], [0.0])

@@ -1,0 +1,54 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 4.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a " in lines[1]
+        # all lines same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456789]])
+        assert "1.235" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "| a " in out
+
+    def test_wide_cells_expand_columns(self):
+        out = format_table(["a"], [["wide-cell-content"]])
+        assert "wide-cell-content" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("n", [1, 2], {"time": [0.5, 1.5]})
+        assert "| n " in out
+        assert "| time" in out
+        assert "1.5" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("n", [1, 2], {"time": [0.5]})
+
+    def test_multiple_series(self):
+        out = format_series("n", [1], {"a": [1], "b": [2]})
+        header_line = out.splitlines()[1]
+        assert "a" in header_line and "b" in header_line

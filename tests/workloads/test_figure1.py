@@ -1,0 +1,108 @@
+"""Tests for the Figure-1 scenario reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RollbackRecovery, SpliceRecovery
+from repro.workloads.figure1 import (
+    EXPECTED_CHECKPOINTS,
+    EXPECTED_FRAGMENTS,
+    FIGURE1_PLACEMENT,
+    PROCESSORS,
+    figure1_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return figure1_scenario()
+
+
+class TestScenarioStructure:
+    def test_seventeen_tasks(self, scenario):
+        assert len(scenario.spec) == 17
+
+    def test_placement_by_letter(self, scenario):
+        assert FIGURE1_PLACEMENT["B2"] == PROCESSORS["B"]
+        assert FIGURE1_PLACEMENT["C4"] == PROCESSORS["C"]
+
+    def test_fragments_match_paper(self, scenario):
+        assert set(scenario.fragments()) == set(EXPECTED_FRAGMENTS)
+
+    def test_parent_relationships_from_text(self, scenario):
+        """Every parent/child relation the paper states."""
+        ids = scenario.ids
+        spec = scenario.spec
+
+        def parent_of(name):
+            nid = ids[name]
+            for pname, pid in ids.items():
+                if nid in spec.nodes[pid].children:
+                    return pname
+            return None
+
+        assert parent_of("B1") == "A1"  # checkpoint for B1 on A
+        assert parent_of("B2") == "C1"  # Fig 3: C1 creates B2'
+        assert parent_of("B3") == "C1"  # Fig 2: B3's grandparent is A1
+        assert parent_of("B5") == "C4"  # "C4 holds the checkpointing data for B5"
+        assert parent_of("D4") == "B2"  # Fig 2: D4's grandparent is C1
+        assert parent_of("A2") == "B2"  # "B2 will generate tasks equivalent to D4 and A2"
+
+
+class TestRollbackRun:
+    def test_reissues_exactly_the_papers_checkpoints(self, scenario):
+        machine, result = scenario.run(RollbackRecovery())
+        assert result.completed and result.verified is True
+        names = {}
+        for rec in result.trace.of_kind("task_accepted"):
+            names.setdefault(rec.detail["stamp"], rec.detail["work"])
+        reissued_nodes = sorted(
+            int(names[r.detail["stamp"]].split()[1].rstrip(">"))
+            for r in result.trace.of_kind("recovery_reissue")
+        )
+        expected_names = sorted(
+            t for tasks in EXPECTED_CHECKPOINTS.values() for t in tasks
+        )
+        expected_ids = sorted(scenario.ids[n] for n in expected_names)
+        assert reissued_nodes == expected_ids
+
+    def test_all_tasks_resident_at_fault(self, scenario):
+        machine, result = scenario.run(RollbackRecovery())
+        accepted_before = {
+            r.detail["work"]
+            for r in result.trace.of_kind("task_accepted")
+            if r.time <= scenario.fault_time
+        }
+        assert len(accepted_before) == 17
+
+
+class TestSpliceRun:
+    def test_d4_salvaged(self, scenario):
+        """Figure 3: twin B2' inherits orphan D4's result."""
+        machine, result = scenario.run(SpliceRecovery())
+        assert result.completed and result.verified is True
+        d4_stamp = None
+        for rec in result.trace.of_kind("task_accepted"):
+            if rec.detail["work"] == f"<tree {scenario.ids['D4']}>":
+                d4_stamp = rec.detail["stamp"]
+                break
+        rerouted = [r.detail["stamp"] for r in result.trace.of_kind("result_orphan_rerouted")]
+        salvaged = [r.detail["stamp"] for r in result.trace.of_kind("result_salvaged")]
+        assert d4_stamp in rerouted
+        assert d4_stamp in salvaged
+
+    def test_b5_not_reissued_topmost_rule(self, scenario):
+        """B5's packet is retained by C4, but B2's checkpoint subsumes it:
+        'recovery of B5 is not fruitful … redo only the most ancient
+        ancestor and ignore the rest.'"""
+        machine, result = scenario.run(SpliceRecovery())
+        names = {}
+        for rec in result.trace.of_kind("task_accepted"):
+            names.setdefault(rec.detail["stamp"], rec.detail["work"])
+        b5_work = f"<tree {scenario.ids['B5']}>"
+        reissued_works = {
+            names.get(r.detail["stamp"])
+            for r in result.trace.of_kind("recovery_reissue")
+        }
+        assert b5_work not in reissued_works

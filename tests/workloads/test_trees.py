@@ -1,0 +1,119 @@
+"""Tests for synthetic tree generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.trees import (
+    balanced_tree,
+    chain_tree,
+    random_tree,
+    skewed_tree,
+    wide_tree,
+)
+
+
+class TestBalanced:
+    def test_size(self):
+        spec = balanced_tree(3, 2)
+        assert len(spec) == 2**4 - 1
+
+    def test_depth(self):
+        assert balanced_tree(4, 2).depth() == 4
+
+    def test_depth_zero_single_node(self):
+        spec = balanced_tree(0, 2)
+        assert len(spec) == 1
+        assert spec.depth() == 0
+
+    def test_fanout_three(self):
+        spec = balanced_tree(2, 3)
+        assert len(spec) == 1 + 3 + 9
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            balanced_tree(-1, 2)
+        with pytest.raises(ValueError):
+            balanced_tree(2, 0)
+
+
+class TestChain:
+    def test_size_and_depth(self):
+        spec = chain_tree(10)
+        assert len(spec) == 10
+        assert spec.depth() == 9
+
+    def test_each_node_one_child(self):
+        spec = chain_tree(5)
+        fanouts = sorted(len(n.children) for n in spec.nodes.values())
+        assert fanouts == [0, 1, 1, 1, 1]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chain_tree(0)
+
+
+class TestWide:
+    def test_shape(self):
+        spec = wide_tree(12)
+        assert len(spec) == 13
+        assert spec.depth() == 1
+        assert len(spec.nodes[0].children) == 12
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            wide_tree(0)
+
+
+class TestSkewed:
+    def test_size(self):
+        # each level adds fanout nodes: (fanout-1) leaves + 1 spine
+        spec = skewed_tree(4, 3)
+        assert len(spec) == 1 + 4 * 3
+
+    def test_depth(self):
+        assert skewed_tree(5, 3).depth() == 5
+
+
+class TestRandom:
+    def test_deterministic(self):
+        a = random_tree(seed=7, target_tasks=30)
+        b = random_tree(seed=7, target_tasks=30)
+        assert a.nodes.keys() == b.nodes.keys()
+        assert all(a.nodes[k] == b.nodes[k] for k in a.nodes)
+
+    def test_seed_sensitivity(self):
+        a = random_tree(seed=1, target_tasks=30)
+        b = random_tree(seed=2, target_tasks=30)
+        assert any(a.nodes.get(k) != b.nodes.get(k) for k in a.nodes) or len(a) != len(b)
+
+    def test_size_bounded_by_target(self):
+        spec = random_tree(seed=3, target_tasks=25)
+        assert 1 <= len(spec) <= 25
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            random_tree(seed=0, target_tasks=0)
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_root_is_zero_and_connected(self, seed):
+        spec = random_tree(seed=seed, target_tasks=20)
+        assert 0 in spec.nodes
+        # every node reachable from the root exactly once (tree property)
+        seen = set()
+
+        def walk(nid):
+            assert nid not in seen
+            seen.add(nid)
+            for child in spec.nodes[nid].children:
+                walk(child)
+
+        walk(0)
+        assert seen == set(spec.nodes)
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_work_in_range(self, seed):
+        spec = random_tree(seed=seed, target_tasks=15, work_range=(5, 30))
+        assert all(5 <= n.work <= 30 for n in spec.nodes.values())
