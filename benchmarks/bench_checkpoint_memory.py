@@ -1,69 +1,30 @@
 """[C8] Ablation: checkpoint memory vs tree shape (§2's "concise").
 
-A functional checkpoint is one retained task packet; the table holds only
-*topmost* stamps per destination.  This ablation measures peak retained
+Thin driver over the ``checkpoint-memory`` registry entry.  A functional
+checkpoint is one retained task packet; the table holds only *topmost*
+stamps per destination.  This ablation measures peak retained
 checkpoints against tree depth and fanout — the quantity that replaces
-the periodic scheme's whole-system snapshots — and verifies the topmost
-rule's saving (recorded vs suppressed)."""
+the periodic scheme's whole-system snapshots — and verifies that all
+recovery state is released by run end."""
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.config import SimConfig
-from repro.core import RollbackRecovery
-from repro.sim import TreeWorkload
-from repro.sim.machine import run_simulation
-from repro.util.tables import format_table
-from repro.workloads.trees import balanced_tree, chain_tree, wide_tree
-
-CONFIG = SimConfig(n_processors=4, seed=0)
-
-
-def _study():
-    shapes = {
-        "chain-24": chain_tree(24, 20),
-        "balanced-d3-f2": balanced_tree(3, 2, 20),
-        "balanced-d4-f2": balanced_tree(4, 2, 20),
-        "balanced-d5-f2": balanced_tree(5, 2, 20),
-        "balanced-d3-f4": balanced_tree(3, 4, 20),
-        "wide-40": wide_tree(40, 20),
-    }
-    rows = []
-    results = {}
-    for name, spec in shapes.items():
-        result = run_simulation(
-            TreeWorkload(spec, name), CONFIG, policy=RollbackRecovery(),
-            collect_trace=False,
-        )
-        assert result.completed
-        m = result.metrics
-        results[name] = (len(spec), result)
-        rows.append(
-            [
-                name,
-                len(spec),
-                m.checkpoints_recorded,
-                m.checkpoint_peak_held,
-                f"{m.checkpoint_peak_held / len(spec):.2f}",
-            ]
-        )
-    table = format_table(
-        ["tree", "tasks", "ckpts recorded", "peak held", "peak/task"], rows
-    )
-    return table, results
+from repro.exp import run_scenario, sweep_table
 
 
 def test_checkpoint_memory_ablation(once):
-    table, results = once(_study)
-    emit("C8: checkpoint memory vs tree shape", table)
-    for name, (tasks, result) in results.items():
-        m = result.metrics
+    sweep = once(run_scenario, "checkpoint-memory")
+    emit("C8: checkpoint memory vs tree shape", sweep_table(sweep))
+    for r in sweep.results():
+        m = r["metrics"]
         # the recovery state never exceeds one packet per live task, and
         # all of it is released by the end of the run
-        assert m.checkpoint_peak_held <= tasks + 1
-        assert m.checkpoints_dropped == m.checkpoints_recorded
-    # deeper trees hold more checkpoints simultaneously than a chain of
-    # comparable size only if their breadth keeps more tasks live at once
-    chain_peak = results["chain-24"][1].metrics.checkpoint_peak_held
-    wide_peak = results["wide-40"][1].metrics.checkpoint_peak_held
+        assert m["checkpoint_peak_held"] <= r["tree_size"] + 1, r["workload"]
+        assert m["checkpoints_dropped"] == m["checkpoints_recorded"], r["workload"]
+    by = sweep.by_axes("workload")
+    # breadth, not depth, drives the peak: a wide tree holds more
+    # checkpoints simultaneously than a chain of comparable size
+    chain_peak = by["chain:24:20"]["metrics"]["checkpoint_peak_held"]
+    wide_peak = by["wide:40:20"]["metrics"]["checkpoint_peak_held"]
     assert wide_peak > chain_peak

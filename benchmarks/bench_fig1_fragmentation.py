@@ -1,20 +1,23 @@
 """[F1] Figure 1: call-tree fragmentation and checkpoint distribution.
 
-Regenerates the paper's worked example: the 17-task tree on processors
-A-D, the failure of B, the three fragments, the entry[B] checkpoint
-tables, and the recovery commands (respawn B1, B2, B3, B7)."""
+Thin driver over the ``fig1-fragmentation`` registry entry: the 17-task
+tree on processors A-D, the failure of B, the three fragments, the
+entry[B] checkpoint tables, and the recovery commands (respawn B1, B2,
+B3, B7).  The figure's own ``ok`` flag checks fragments, checkpoint
+distribution, and reissues against the paper; the detailed structural
+assertions live in ``tests/analysis/test_figures.py``."""
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.analysis.figures import figure1
-from repro.workloads.figure1 import EXPECTED_CHECKPOINTS, EXPECTED_FRAGMENTS
+from repro.exp import run_scenario
 
 
 def test_fig1_fragmentation(once):
-    report = once(figure1)
-    emit("Figure 1 (fragmentation + checkpoints)", report.text)
-    assert report.ok
-    assert set(report.data["fragments"]) == set(EXPECTED_FRAGMENTS)
-    assert report.data["checkpoints"] == EXPECTED_CHECKPOINTS
-    assert sorted(report.data["reissued"]) == ["B1", "B2", "B3", "B7"]
+    sweep = once(run_scenario, "fig1-fragmentation")
+    (report,) = sweep.results()
+    emit("Figure 1 (fragmentation + checkpoints)", report["text"])
+    assert report["ok"]
+    assert "entry[B]" in report["text"]
+    for task in ("B1", "B2", "B3", "B7"):
+        assert task in report["text"]

@@ -1,19 +1,21 @@
 """[F3] Figure 3: twin B2' inherits the orphan D4.
 
-Splice recovery on the Figure-1 scenario: D4's completed result is
+Thin driver over the ``fig3-inheritance`` registry entry: splice
+recovery on the Figure-1 scenario, where D4's completed result is
 rerouted to grandparent C1's node and relayed into the twin B2', while
-A2's stranded fragment is recomputed (the B5 story)."""
+A2's stranded fragment is recomputed (the B5 story).  The figure's
+``ok`` flag requires the twin, the salvage, the reroute, and the oracle
+answer."""
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.analysis.figures import figure3
+from repro.exp import run_scenario
 
 
 def test_fig3_twin_inheritance(once):
-    report = once(figure3)
-    emit("Figure 3 (splice inheritance)", report.text)
-    assert report.ok
-    assert "B2" in report.data["twins"]
-    assert "D4" in report.data["salvaged"]
-    assert report.data["result"].verified is True
+    sweep = once(run_scenario, "fig3-inheritance")
+    (report,) = sweep.results()
+    emit("Figure 3 (splice inheritance)", report["text"])
+    assert report["ok"]
+    assert "B2" in report["text"] and "D4" in report["text"]

@@ -1,21 +1,21 @@
 """[F4/F5] Figures 4-5: the eight orderings of C vs the recovery events.
 
-Each driver steers the machine into one ordering; the classification must
-match and every run must produce the oracle answer — §4.1's case analysis
-as an executable table."""
+Thin driver over the ``fig5-cases`` registry entry.  Each driver steers
+the machine into one ordering; the figure's ``ok`` flag requires every
+classification to match and every run to produce the oracle answer —
+§4.1's case analysis as an executable table."""
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.analysis.figures import figure5
+from repro.exp import run_scenario
 
 
 def test_fig5_all_cases(once):
-    report = once(figure5)
-    emit("Figures 4-5 (eight splice cases)", report.text)
-    assert report.ok
-    outcomes = report.data["outcomes"]
-    assert sorted(outcomes) == list(range(1, 9))
-    for n, outcome in outcomes.items():
-        assert outcome.matches, f"case {n} classified as {outcome.observed_case}"
-        assert outcome.result.verified is True
+    sweep = once(run_scenario, "fig5-cases")
+    (report,) = sweep.results()
+    emit("Figures 4-5 (eight splice cases)", report["text"])
+    assert report["ok"]
+    # one table row per ordering (cases 1-8), each starting "| N | ..."
+    for case in range(1, 9):
+        assert f"\n| {case} " in report["text"]

@@ -5,69 +5,22 @@
     static allocation method may not be maintained easily after a
     processor fails."
 
-Compares schedulers on the same faulted run: all must stay correct;
-the table reports post-recovery utilization imbalance."""
+Thin driver over the ``loadbalance`` registry entry: the same faulted
+run under every scheduler — all must stay correct; the table reports
+post-recovery utilization imbalance among survivors."""
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks.conftest import emit
-from repro.config import SimConfig
-from repro.core import RollbackRecovery
-from repro.sim import FaultSchedule, TreeWorkload
-from repro.sim.machine import run_simulation
-from repro.util.tables import format_table
-from repro.workloads.trees import balanced_tree
-
-SCHEDULERS = ("gradient", "random", "round_robin", "static", "local")
-
-
-def _study():
-    rows = []
-    results = {}
-    for scheduler in SCHEDULERS:
-        config = SimConfig(n_processors=4, seed=0, scheduler=scheduler)
-        base = run_simulation(
-            TreeWorkload(balanced_tree(4, 2, 50), "bal"),
-            config,
-            policy=RollbackRecovery(),
-            collect_trace=False,
-        )
-        faulted = run_simulation(
-            TreeWorkload(balanced_tree(4, 2, 50), "bal"),
-            config,
-            policy=RollbackRecovery(),
-            faults=FaultSchedule.single(0.5 * base.makespan, 1),
-            collect_trace=False,
-        )
-        util = [
-            u for node, u in faulted.metrics.utilization(faulted.makespan).items()
-            if node >= 0 and node != 1
-        ]
-        imbalance = float(np.std(util)) if util else 0.0
-        results[scheduler] = (base, faulted)
-        rows.append(
-            [
-                scheduler,
-                round(base.makespan, 0),
-                round(faulted.makespan, 0),
-                f"{faulted.makespan / base.makespan:.2f}x",
-                f"{imbalance:.3f}",
-                faulted.verified,
-            ]
-        )
-    return format_table(
-        ["scheduler", "fault-free mk", "faulted mk", "slowdown", "util stddev", "verified"],
-        rows,
-    ), results
+from repro.exp import run_scenario, sweep_table
 
 
 def test_schedulers_under_recovery(once):
-    table, results = once(_study)
-    emit("C6: load balancing x recovery", table)
-    for scheduler, (base, faulted) in results.items():
-        assert faulted.completed, f"{scheduler}: {faulted.stall_reason}"
-        assert faulted.verified is True
+    sweep = once(run_scenario, "loadbalance")
+    emit("C6: load balancing x recovery", sweep_table(sweep))
+    by = sweep.by_axes("scheduler")
+    for scheduler, r in by.items():
+        assert r["completed"], scheduler
+        assert r["verified"] is True, scheduler
     # dynamic placement (gradient) beats no distribution (local) outright
-    assert results["gradient"][1].makespan < results["local"][1].makespan
+    assert by["gradient"]["makespan"] < by["local"]["makespan"]

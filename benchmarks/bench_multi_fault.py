@@ -2,58 +2,28 @@
 structure do not disturb the recovery algorithm at all.  Separate
 recoveries take place at different parts of the program in parallel."
 
-Compares one fault vs two simultaneous faults on disjoint branches: the
-two-fault recovery cost should be near max(single costs), not their sum;
-and sequential fault chains must still verify."""
+Thin driver over the ``multi-fault`` registry entry: one fault vs two
+simultaneous faults on disjoint branches — the two-fault recovery cost
+should be near max(single costs), not their sum; and sequential fault
+chains must still verify."""
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.config import SimConfig
-from repro.core import SpliceRecovery
-from repro.sim import Fault, FaultSchedule, TreeWorkload
-from repro.sim.machine import run_simulation
-from repro.util.tables import format_table
-from repro.workloads.trees import balanced_tree
-
-CONFIG = SimConfig(n_processors=6, seed=0)
-
-
-def _study():
-    def go(faults=FaultSchedule.none()):
-        return run_simulation(
-            TreeWorkload(balanced_tree(4, 3, 40), "balanced-f3"),
-            CONFIG,
-            policy=SpliceRecovery(),
-            faults=faults,
-            collect_trace=False,
-        )
-
-    base = go()
-    t = 0.5 * base.makespan
-    one_a = go(FaultSchedule.single(t, 1))
-    one_b = go(FaultSchedule.single(t, 4))
-    both = go(FaultSchedule.of(Fault(t, 1), Fault(t, 4)))
-    seq = go(FaultSchedule.of(Fault(t * 0.6, 1), Fault(t * 1.2, 4)))
-    rows = [
-        ["no fault", round(base.makespan, 0), 0, "-"],
-        ["kill node 1", round(one_a.makespan, 0), one_a.metrics.tasks_reissued, one_a.verified],
-        ["kill node 4", round(one_b.makespan, 0), one_b.metrics.tasks_reissued, one_b.verified],
-        ["both at once", round(both.makespan, 0), both.metrics.tasks_reissued, both.verified],
-        ["sequential", round(seq.makespan, 0), seq.metrics.tasks_reissued, seq.verified],
-    ]
-    table = format_table(["scenario", "makespan", "reissued", "verified"], rows)
-    return table, base, one_a, one_b, both, seq
+from repro.exp import run_scenario, sweep_table
 
 
 def test_multi_fault_parallel_recovery(once):
-    table, base, one_a, one_b, both, seq = once(_study)
-    emit("C3: multiple faults on disjoint branches", table)
+    sweep = once(run_scenario, "multi-fault")
+    emit("C3: multiple faults on disjoint branches", sweep_table(sweep))
+    by = sweep.by_axes("faults")
+    one_a, one_b = by["0.5:1"], by["0.5:4"]
+    both, seq = by["0.5:1+0.5:4"], by["0.3:1+0.6:4"]
     for r in (one_a, one_b, both, seq):
-        assert r.completed and r.verified is True
+        assert r["completed"] and r["verified"] is True
     # Parallel recovery: healing both faults in one run costs decisively
     # less than the two single-fault recovery runs end-to-end (the
     # recoveries overlap; some extra cost remains because two dead
     # processors also shrink compute capacity).
-    assert both.makespan < one_a.makespan + one_b.makespan
-    assert both.makespan < 1.5 * max(one_a.makespan, one_b.makespan)
+    assert both["makespan"] < one_a["makespan"] + one_b["makespan"]
+    assert both["makespan"] < 1.5 * max(one_a["makespan"], one_b["makespan"])

@@ -1,51 +1,28 @@
 """[C1] §6 claim: functional checkpointing has "very little overhead
 while the system is in a normal, fault-free operation".
 
-Measures fault-free makespan of every policy relative to no fault
-tolerance across language and synthetic workloads.  Expected shape:
-rollback/splice within a few percent of none (they add packets + table
-upkeep off the critical path); replication pays ~k×."""
+Thin driver over the ``overhead-faultfree`` registry entry: fault-free
+makespan of every policy relative to no fault tolerance across language
+and synthetic workloads.  Expected shape: rollback/splice within a few
+percent of none (they add packets + table upkeep off the critical path);
+replication pays ~k×."""
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.analysis.experiments import overhead_sweep
-from repro.analysis.report import render_overhead
-from repro.config import SimConfig
-from repro.core import (
-    NoFaultTolerance,
-    ReplicatedExecution,
-    RollbackRecovery,
-    SpliceRecovery,
-)
-from repro.sim import InterpWorkload, TreeWorkload
-from repro.lang.programs import get_program
-from repro.workloads.trees import balanced_tree
-
-CONFIG = SimConfig(n_processors=4, seed=0)
-
-WORKLOADS = {
-    "fib-10": lambda: InterpWorkload(get_program("fib", 10), name="fib-10"),
-    "tak-7": lambda: InterpWorkload(get_program("tak", 7, 4, 2), name="tak-7"),
-    "balanced-d4": lambda: TreeWorkload(balanced_tree(4, 2, 40), "balanced-d4"),
-}
-
-POLICIES = {
-    "none": NoFaultTolerance,
-    "rollback": RollbackRecovery,
-    "splice": SpliceRecovery,
-    "replicated-k3": lambda: ReplicatedExecution(k=3),
-}
+from repro.exp import get_scenario, run_scenario, sweep_table
 
 
 def test_fault_free_overhead(once):
-    rows = once(overhead_sweep, WORKLOADS, POLICIES, CONFIG)
-    emit("C1: fault-free overhead by policy", render_overhead(rows))
-    for row in rows:
-        if row.policy in ("rollback", "splice"):
+    sweep = once(run_scenario, "overhead-faultfree")
+    emit("C1: fault-free overhead by policy", sweep_table(sweep))
+    by = sweep.by_axes("workload", "policy")
+    for workload in get_scenario("overhead-faultfree").axes["workload"]:
+        base = by[(workload, "none")]["makespan"]
+        for policy in ("rollback", "splice"):
+            row = by[(workload, policy)]
             # functional checkpointing must stay within 5% of no-FT
-            assert row.overhead_vs_none <= 1.05, row
-            assert row.checkpoints > 0
-        if row.policy == "replicated-k3":
-            # replication's price: meaningfully more expensive fault-free
-            assert row.overhead_vs_none > 1.05, row
+            assert row["makespan"] / base <= 1.05, (workload, policy)
+            assert row["metrics"]["checkpoints_recorded"] > 0
+        # replication's price: meaningfully more expensive fault-free
+        assert by[(workload, "replicated:3")]["makespan"] / base > 1.05, workload

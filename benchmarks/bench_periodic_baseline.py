@@ -1,89 +1,29 @@
 """[C5] §2's comparator: periodic global checkpointing.
 
-The paper argues functional checkpointing avoids both of the periodic
-scheme's costs: global synchronization fault-free (∝ 1/interval) and
-lost work on failure (∝ interval).  This bench sweeps the checkpoint
-interval and compares against functional checkpointing on the same tree
-and cost model."""
+Thin driver over the ``periodic-baseline`` registry entry.  The paper
+argues functional checkpointing avoids both of the periodic scheme's
+costs: global synchronization fault-free (∝ 1/interval) and lost work on
+failure (∝ interval).  The scenario sweeps the checkpoint interval and
+compares against functional checkpointing on the same tree and cost
+model."""
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.baselines import PeriodicCheckpointSimulator
-from repro.config import SimConfig
-from repro.core import RollbackRecovery, SpliceRecovery
-from repro.sim import FaultSchedule, TreeWorkload
-from repro.sim.machine import run_simulation
-from repro.util.tables import format_table
-from repro.workloads.trees import balanced_tree
-
-SPEC = balanced_tree(5, 2, 30)
-CONFIG = SimConfig(n_processors=4, seed=0)
-INTERVALS = (50.0, 150.0, 500.0, 2000.0)
-
-
-def _study():
-    base = PeriodicCheckpointSimulator(SPEC, 4, interval=10**9).run()
-    fault_time = 0.6 * base.makespan
-    rows = []
-    periodic = {}
-    for interval in INTERVALS:
-        ff = PeriodicCheckpointSimulator(SPEC, 4, interval=interval).run()
-        fl = PeriodicCheckpointSimulator(SPEC, 4, interval=interval).run(
-            fault_time=fault_time
-        )
-        periodic[interval] = (ff, fl)
-        rows.append(
-            [
-                f"periodic T={interval:.0f}",
-                round(ff.makespan, 0),
-                round(ff.checkpoint_time, 1),
-                round(fl.makespan, 0),
-                round(fl.lost_work, 0),
-            ]
-        )
-    functional = {}
-    for name, policy in (("rollback", RollbackRecovery), ("splice", SpliceRecovery)):
-        ff = run_simulation(
-            TreeWorkload(SPEC, "bal"), CONFIG, policy=policy(), collect_trace=False
-        )
-        fl = run_simulation(
-            TreeWorkload(SPEC, "bal"),
-            CONFIG,
-            policy=policy(),
-            faults=FaultSchedule.single(fault_time, 1),
-            collect_trace=False,
-        )
-        functional[name] = (ff, fl)
-        rows.append(
-            [
-                f"functional ({name})",
-                round(ff.makespan, 0),
-                0.0,
-                round(fl.makespan, 0),
-                fl.metrics.steps_wasted,
-            ]
-        )
-    table = format_table(
-        ["scheme", "fault-free mk", "sync time", "faulted mk", "lost/wasted work"],
-        rows,
-    )
-    return table, periodic, functional
+from repro.exp import run_scenario, sweep_table
 
 
 def test_periodic_vs_functional(once):
-    table, periodic, functional = once(_study)
-    emit("C5: periodic global checkpointing vs functional checkpointing", table)
+    sweep = once(run_scenario, "periodic-baseline")
+    emit("C5: periodic global checkpointing vs functional checkpointing", sweep_table(sweep))
+    by = sweep.by_axes("scheme")
     # fault-free synchronization cost grows as the interval tightens
-    ff_tight, _ = periodic[INTERVALS[0]]
-    ff_loose, _ = periodic[INTERVALS[-1]]
-    assert ff_tight.checkpoint_time > ff_loose.checkpoint_time
-    assert ff_tight.makespan > ff_loose.makespan
+    assert by["periodic:50"]["sync_time"] > by["periodic:2000"]["sync_time"]
+    assert by["periodic:50"]["fault_free_makespan"] > by["periodic:2000"]["fault_free_makespan"]
     # lost work on failure grows as the interval loosens
-    _, fl_tight = periodic[INTERVALS[0]]
-    _, fl_loose = periodic[INTERVALS[-1]]
-    assert fl_loose.lost_work > fl_tight.lost_work
+    assert by["periodic:2000"]["lost_work"] > by["periodic:50"]["lost_work"]
     # functional checkpointing pays no synchronization at all, and both
     # policies recover correctly
-    for name, (ff, fl) in functional.items():
-        assert fl.completed and fl.verified is True
+    for scheme in ("functional:rollback", "functional:splice"):
+        assert by[scheme]["sync_time"] == 0.0
+        assert by[scheme]["completed"] and by[scheme]["verified"] is True

@@ -1,64 +1,28 @@
 """[C4] §5.3: replicated tasks with majority voting.
 
-Expected shape: fault-free work scales ~k; a single fault is masked with
-no recovery machinery for k>=3; the vote never waits for the slowest
-(dead) replica."""
+Thin driver over the ``replication`` registry entry.  Expected shape:
+fault-free work scales ~k; a single fault is masked with no recovery
+machinery for k>=3 (k=1 stalls); the vote never waits for the slowest
+(dead) replica.  Each point's ``fault_free`` sub-dict carries the
+unfaulted run's cost, the top-level fields the faulted run's outcome."""
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.config import SimConfig
-from repro.core import ReplicatedExecution
-from repro.sim import FaultSchedule, TreeWorkload
-from repro.sim.machine import run_simulation
-from repro.util.tables import format_table
-from repro.workloads.trees import balanced_tree
-
-CONFIG = SimConfig(n_processors=5, seed=3)
-
-
-def _study():
-    rows = []
-    runs = {}
-    for k in (1, 3, 5):
-        fault_free = run_simulation(
-            TreeWorkload(balanced_tree(3, 2, 40), "bal"),
-            CONFIG,
-            policy=ReplicatedExecution(k=k),
-            collect_trace=False,
-        )
-        faulted = run_simulation(
-            TreeWorkload(balanced_tree(3, 2, 40), "bal"),
-            CONFIG,
-            policy=ReplicatedExecution(k=k),
-            faults=FaultSchedule.single(0.4 * fault_free.makespan, 1),
-            collect_trace=False,
-        )
-        runs[k] = (fault_free, faulted)
-        rows.append(
-            [
-                k,
-                fault_free.metrics.tasks_accepted,
-                fault_free.metrics.messages_total,
-                round(fault_free.makespan, 0),
-                "masked" if faulted.completed and faulted.verified else "STALLED",
-            ]
-        )
-    return format_table(
-        ["k", "task executions", "messages", "makespan", "single fault"], rows
-    ), runs
+from repro.exp import run_scenario, sweep_table
 
 
 def test_replication_scaling_and_masking(once):
-    table, runs = once(_study)
-    emit("C4: replication factor sweep", table)
-    ff1, f1 = runs[1]
-    ff3, f3 = runs[3]
-    ff5, f5 = runs[5]
+    sweep = once(run_scenario, "replication")
+    emit("C4: replication factor sweep", sweep_table(sweep))
+    by = sweep.by_axes("policy")
+    ff1 = by["replicated:1"]["fault_free"]
+    ff3 = by["replicated:3"]["fault_free"]
+    ff5 = by["replicated:5"]["fault_free"]
     # cost scales ~k in task executions
-    assert ff3.metrics.tasks_accepted >= 2.5 * ff1.metrics.tasks_accepted
-    assert ff5.metrics.tasks_accepted >= 4.0 * ff1.metrics.tasks_accepted
+    assert ff3["tasks_accepted"] >= 2.5 * ff1["tasks_accepted"]
+    assert ff5["tasks_accepted"] >= 4.0 * ff1["tasks_accepted"]
     # masking: k=1 stalls, k>=3 completes with the oracle answer
-    assert not f1.completed
-    assert f3.completed and f3.verified is True
-    assert f5.completed and f5.verified is True
+    assert not by["replicated:1"]["completed"]
+    assert by["replicated:3"]["completed"] and by["replicated:3"]["verified"] is True
+    assert by["replicated:5"]["completed"] and by["replicated:5"]["verified"] is True

@@ -1,91 +1,41 @@
 """[C2] §6 claim: "if a fault happens at a later stage of the evaluation,
 the rollback recovery may be costly"; splice salvages partial results.
 
-Two series:
+Thin driver over two registry entries:
 
-1. fault-time sweep on a balanced tree (both policies recover, slowdown
-   grows with fault time for rollback);
-2. the orphan-dominant regime (slow detector, long leaves) where splice's
+1. ``rollback-vs-splice`` — fault-time sweep on a balanced tree (both
+   policies recover, slowdown grows with fault time for rollback);
+2. ``orphan-regime`` — slow detector + long leaves, where splice's
    salvage halves the wasted work and beats rollback's makespan."""
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.analysis.experiments import fault_time_sweep
-from repro.analysis.report import render_fault_sweep
-from repro.config import CostModel, SimConfig
-from repro.core import RollbackRecovery, SpliceRecovery
-from repro.sim import FaultSchedule, TreeWorkload
-from repro.sim.machine import run_simulation
-from repro.util.tables import format_table
-from repro.workloads.trees import balanced_tree
-
-CONFIG = SimConfig(n_processors=4, seed=0)
-
-
-def _sweep():
-    return fault_time_sweep(
-        lambda: TreeWorkload(balanced_tree(4, 2, 60), "balanced-d4"),
-        CONFIG,
-        {"rollback": RollbackRecovery, "splice": SpliceRecovery},
-        fractions=(0.1, 0.3, 0.5, 0.7, 0.9),
-    )
+from repro.exp import run_scenario, sweep_table
 
 
 def test_fault_time_sweep(once):
-    points = once(_sweep)
-    emit("C2a: recovery cost vs fault time", render_fault_sweep(points))
-    assert all(p.completed and p.correct for p in points)
-    rollback = [p for p in points if p.policy == "rollback"]
-    splice = [p for p in points if p.policy == "splice"]
+    sweep = once(run_scenario, "rollback-vs-splice")
+    emit("C2a: recovery cost vs fault time", sweep_table(sweep))
+    results = sweep.results()
+    assert all(r["completed"] and r["correct"] for r in results)
+    rollback = [r for r in results if r["policy"] == "rollback"]
+    splice = [r for r in results if r["policy"] == "splice"]
     # late faults slow rollback more than early ones (the §6 claim)
-    assert max(p.slowdown for p in rollback) > min(p.slowdown for p in rollback)
+    assert max(r["slowdown"] for r in rollback) > min(r["slowdown"] for r in rollback)
     # splice salvages on mid/late faults
-    assert any(p.salvaged_results > 0 for p in splice)
-
-
-def _orphan_regime():
-    spec = balanced_tree(2, 4, 150)
-    cost = CostModel(detector_delay=400.0, detection_timeout=20.0)
-    config = SimConfig(n_processors=4, seed=0, cost=cost)
-
-    def go(policy_cls, faults=FaultSchedule.none()):
-        return run_simulation(
-            TreeWorkload(spec, "two-level"), config, policy=policy_cls(),
-            faults=faults, collect_trace=False,
-        )
-
-    base = go(RollbackRecovery)
-    rows = []
-    results = {}
-    for frac in (0.3, 0.5, 0.7):
-        fault = FaultSchedule.single(frac * base.makespan, 1)
-        r_roll = go(RollbackRecovery, fault)
-        r_splice = go(SpliceRecovery, fault)
-        results[frac] = (r_roll, r_splice)
-        rows.append(
-            [
-                f"{frac:.0%}",
-                r_roll.metrics.steps_wasted,
-                r_splice.metrics.steps_wasted,
-                round(r_roll.makespan, 0),
-                round(r_splice.makespan, 0),
-                r_splice.metrics.results_salvaged,
-            ]
-        )
-    table = format_table(
-        ["fault@", "rollback wasted", "splice wasted", "rollback mk", "splice mk", "salvaged"],
-        rows,
-    )
-    return table, results
+    assert any(r["metrics"]["results_salvaged"] > 0 for r in splice)
 
 
 def test_orphan_dominant_regime(once):
-    table, results = once(_orphan_regime)
-    emit("C2b: orphan-dominant regime (slow detector, long leaves)", table)
-    for frac, (r_roll, r_splice) in results.items():
-        assert r_roll.verified is True and r_splice.verified is True
+    sweep = once(run_scenario, "orphan-regime")
+    emit("C2b: orphan-dominant regime (slow detector, long leaves)", sweep_table(sweep))
+    by = sweep.by_axes("policy", "fault_frac")
+    for frac in (0.3, 0.5, 0.7):
+        r_roll = by[("rollback", frac)]
+        r_splice = by[("splice", frac)]
+        assert r_roll["verified"] is True and r_splice["verified"] is True
         if frac >= 0.5:
-            assert r_splice.metrics.steps_wasted < r_roll.metrics.steps_wasted
-            assert r_splice.makespan <= r_roll.makespan
-            assert r_splice.metrics.results_salvaged > 0
+            assert r_splice["metrics"]["steps_wasted"] < r_roll["metrics"]["steps_wasted"]
+            assert r_splice["makespan"] <= r_roll["makespan"]
+            assert r_splice["metrics"]["results_salvaged"] > 0

@@ -1,48 +1,28 @@
 """[C7] Substrate sanity: Rediflow-style speedup scaling.
 
-The companion paper (Keller & Lin 1984) reported near-linear speedups on
-parallel reduction workloads; the protocols under study assume a substrate
-where adding processors helps.  Sweeps processor count on a wide parallel
-tree and on fib."""
+Thin driver over the ``scaling-wide`` and ``scaling-fib`` registry
+entries.  The companion paper (Keller & Lin 1984) reported near-linear
+speedups on parallel reduction workloads; the protocols under study
+assume a substrate where adding processors helps."""
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.analysis.experiments import scaling_sweep
-from repro.analysis.report import render_scaling
-from repro.config import SimConfig
-from repro.core import NoFaultTolerance
-from repro.lang.programs import get_program
-from repro.sim import InterpWorkload, TreeWorkload
-from repro.workloads.trees import wide_tree
-
-CONFIG = SimConfig(seed=0)
+from repro.exp import run_scenario, sweep_table
 
 
 def test_scaling_wide_tree(once):
-    points = once(
-        scaling_sweep,
-        lambda: TreeWorkload(wide_tree(48, 120), "wide-48"),
-        CONFIG,
-        NoFaultTolerance,
-        (1, 2, 4, 8),
-    )
-    emit("C7a: speedup on 48 independent tasks", render_scaling(points))
-    by_p = {p.processors: p for p in points}
-    assert by_p[4].speedup > 2.5
-    assert by_p[8].speedup > by_p[4].speedup
+    sweep = once(run_scenario, "scaling-wide")
+    emit("C7a: speedup on 48 independent tasks", sweep_table(sweep))
+    by = sweep.by_axes("processors")
+    assert by[4]["speedup"] > 2.5
+    assert by[8]["speedup"] > by[4]["speedup"]
 
 
 def test_scaling_fib(once):
-    points = once(
-        scaling_sweep,
-        lambda: InterpWorkload(get_program("fib", 11), name="fib-11"),
-        CONFIG,
-        NoFaultTolerance,
-        (1, 2, 4, 8),
-    )
-    emit("C7b: speedup on fib(11)", render_scaling(points))
-    by_p = {p.processors: p for p in points}
+    sweep = once(run_scenario, "scaling-fib")
+    emit("C7b: speedup on fib(11)", sweep_table(sweep))
+    by = sweep.by_axes("processors")
     # fib tasks are fine-grained: communication bounds speedup below the
     # wide-tree case, but 4 processors must still beat 1 clearly
-    assert by_p[4].speedup > 1.5
+    assert by[4]["speedup"] > 1.5

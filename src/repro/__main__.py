@@ -4,4 +4,10 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # `repro exp list | head` closes stdout early; exit like a Unix tool
+    # (128 + SIGPIPE) instead of tracebacking.
+    sys.stderr.close()
+    sys.exit(141)

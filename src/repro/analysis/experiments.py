@@ -13,6 +13,14 @@ Each sweep turns the paper's qualitative claims into measured series:
 
 All runners take *factories* (machines and workloads are single-shot) and
 are deterministic given their seeds.
+
+These are the in-process building blocks; the declarative face of the
+same sweeps lives in :mod:`repro.exp` — ``rollback-vs-splice``,
+``overhead-faultfree``, ``scaling-wide`` and friends are registered
+scenarios that run each grid point through
+:func:`repro.exp.points.run_machine_point` with process-pool fan-out and
+result caching (``repro exp list`` shows the full registry).  Prefer a
+registry entry over a new ad-hoc driver when adding an experiment.
 """
 
 from __future__ import annotations

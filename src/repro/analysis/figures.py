@@ -40,6 +40,16 @@ class FigureReport:
         status = "reproduced" if self.ok else "MISMATCH"
         return f"=== {self.figure}: {self.title} [{status}] ===\n{self.text}"
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary (drops ``data``, which holds live objects);
+        used by the ``figure`` point runner in :mod:`repro.exp.points`."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "ok": self.ok,
+            "text": self.text,
+        }
+
 
 def _stamp_to_name(scenario) -> Dict[str, str]:
     """Map simulator stamps to the figure's task names via tree-node ids."""
@@ -258,6 +268,17 @@ def figure6() -> FigureReport:
     )
 
 
+#: Figure reproductions by name — the ``figure`` point runner in
+#: :mod:`repro.exp.points` resolves scenario parameters through this.
+FIGURES = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure5": figure5,
+    "figure6": figure6,
+}
+
+
 def all_figures() -> List[FigureReport]:
     """Reproduce every figure (1, 2, 3, 4/5, 6/7)."""
-    return [figure1(), figure2(), figure3(), figure5(), figure6()]
+    return [fig() for fig in FIGURES.values()]

@@ -4,11 +4,17 @@
     python -m repro run fib-10 --policy splice --processors 4 \\
         --fault 600:2 --fault 900:1 --seed 7 --trace
     python -m repro figures
+    python -m repro exp list
+    python -m repro exp run rollback-vs-splice --workers 4
 
 ``run`` executes a named workload under a policy with optional fault
 injection and prints the run summary (and optionally the recovery trace);
 ``figures`` regenerates every paper figure; ``list`` shows the available
-workload and policy names.
+workload and policy names.  The ``exp`` subcommands drive the scenario
+registry (:mod:`repro.exp`): ``exp list`` shows every registered
+scenario, ``exp show`` prints one spec's axes and parameters, and ``exp
+run`` executes a sweep with process-pool fan-out and on-disk result
+caching (see ``docs/SCENARIOS.md``).
 """
 
 from __future__ import annotations
@@ -92,6 +98,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="kill NODE at TIME (repeatable)",
     )
     run.add_argument("--trace", action="store_true", help="print recovery trace")
+
+    exp = sub.add_parser("exp", help="scenario registry: declarative sweeps")
+    exp_sub = exp.add_subparsers(dest="exp_command", required=True)
+    exp_sub.add_parser("list", help="list registered scenarios")
+    exp_show = exp_sub.add_parser("show", help="print one scenario's spec")
+    exp_show.add_argument("scenario", help="scenario name (see `repro exp list`)")
+    exp_run = exp_sub.add_parser("run", help="run a scenario sweep")
+    exp_run.add_argument("scenario", help="scenario name (see `repro exp list`)")
+    exp_run.add_argument(
+        "--workers", type=int, default=1, help="process-pool width (1 = serial)"
+    )
+    exp_run.add_argument(
+        "--cache-dir",
+        default="results",
+        help="result-cache root (default: ./results)",
+    )
+    exp_run.add_argument(
+        "--no-cache", action="store_true", help="neither read nor write the cache"
+    )
+    exp_run.add_argument(
+        "--force", action="store_true", help="recompute even if cached"
+    )
+    exp_run.add_argument(
+        "--json", action="store_true", help="print the raw result JSON payload"
+    )
     return parser
 
 
@@ -163,12 +194,89 @@ def cmd_run(args, out) -> int:
     return 0 if result.correct or (not faults and result.completed) else 1
 
 
+def cmd_exp_list(out) -> int:
+    from repro.exp import all_scenarios
+
+    rows = [
+        [spec.name, spec.runner, spec.n_points(), spec.title]
+        for spec in all_scenarios().values()
+    ]
+    print(
+        format_table(["scenario", "runner", "points", "title"], rows, title="Scenarios"),
+        file=out,
+    )
+    return 0
+
+
+def cmd_exp_show(args, out) -> int:
+    from repro.exp import expand, get_scenario
+
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{spec.name}: {spec.title}", file=out)
+    print(f"  runner:  {spec.runner}   points: {spec.n_points()}   key: {spec.key()}", file=out)
+    print(f"  {spec.description}", file=out)
+    print("  base:", file=out)
+    for k, v in sorted(spec.base.items()):
+        print(f"    {k} = {v!r}", file=out)
+    print("  axes:", file=out)
+    for axis, values in spec.axes.items():
+        print(f"    {axis} = {list(values)!r}", file=out)
+    seeds = sorted({p.seed for p in expand(spec)})
+    preview = ", ".join(str(s) for s in seeds[:3])
+    print(f"  point seeds: {len(seeds)} distinct ({preview}{', ...' if len(seeds) > 3 else ''})", file=out)
+    return 0
+
+
+def cmd_exp_run(args, out) -> int:
+    from repro.exp import get_scenario, run_scenario, sweep_table
+
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sweep = run_scenario(
+        spec,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        force=args.force,
+    )
+    if args.json:
+        print(sweep.to_json(), file=out, end="")
+    else:
+        print(sweep_table(sweep, spec), file=out)
+        if sweep.cache_path:
+            source = "hit" if sweep.cache_hit else "miss, computed"
+            print(f"cache: {source} ({sweep.cache_path})", file=out)
+    failed = [
+        p["index"]
+        for p in sweep.points
+        if p["result"].get("ok") is False
+        or p["result"].get("correct") is False
+        or p["result"].get("completed") is False
+    ]
+    if failed and not spec.expect_failures:
+        print(f"points with failures: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list(out)
     if args.command == "figures":
         return cmd_figures(out)
+    if args.command == "exp":
+        if args.exp_command == "list":
+            return cmd_exp_list(out)
+        if args.exp_command == "show":
+            return cmd_exp_show(args, out)
+        return cmd_exp_run(args, out)
     return cmd_run(args, out)
 
 

@@ -1,0 +1,33 @@
+"""Scenario registry + parallel sweep engine.
+
+Every paper figure and quantitative claim is a registered
+:class:`~repro.exp.scenario.ScenarioSpec`; :func:`run_scenario` expands
+one into its point grid, fans the points out over worker processes, and
+caches the per-point result dicts as canonical JSON.  See
+``docs/SCENARIOS.md`` for the spec schema and determinism rules.
+"""
+
+from repro.exp import registry  # noqa: F401  (populates the registry)
+from repro.exp.runner import SweepResult, run_scenario, sweep_table
+from repro.exp.scenario import (
+    Point,
+    ScenarioSpec,
+    all_scenarios,
+    expand,
+    get_scenario,
+    point_seed,
+    register,
+)
+
+__all__ = [
+    "Point",
+    "ScenarioSpec",
+    "SweepResult",
+    "all_scenarios",
+    "expand",
+    "get_scenario",
+    "point_seed",
+    "register",
+    "run_scenario",
+    "sweep_table",
+]

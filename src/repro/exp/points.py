@@ -1,0 +1,339 @@
+"""Point runners: execute one scenario grid point, return a JSON dict.
+
+Runners are pure functions ``params -> result dict`` registered by name
+in :data:`RUNNERS`; scenario specs reference them by that name so specs
+stay serializable and worker processes can re-resolve them.  Every value
+in a result dict is a JSON primitive (numbers, strings, bools, lists,
+dicts), which is what makes the on-disk cache and the serial/parallel
+byte-parity guarantee possible.
+
+Parameter conventions for the ``machine`` runner (all JSON values):
+
+``workload``
+    A name from :data:`repro.workloads.suite.WORKLOADS`, a synthetic
+    tree spec (``balanced:DEPTH:FANOUT:WORK``, ``chain:LEN:WORK``,
+    ``wide:WIDTH:WORK``, ``skewed:DEPTH:FANOUT:WORK``,
+    ``random:SEED:TASKS``), or an interpreter program
+    (``prog:NAME:ARG:...``, e.g. ``prog:tak:7:4:2``).
+``policy``
+    ``none`` | ``rollback`` | ``splice`` | ``replicated:K``.
+``fault_frac`` / ``victim``
+    Kill ``victim`` at ``fault_frac x`` the fault-free makespan.
+``faults``
+    Multi-fault schedule as ``"FRAC:NODE+FRAC:NODE"`` (fractions of the
+    fault-free makespan); empty string means no faults.
+``base_policy``
+    Policy whose fault-free run defines the baseline makespan used for
+    fault placement and slowdown (defaults to the point's own policy).
+``speedup_base_processors``
+    Also run fault-free at this processor count and report ``speedup``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from functools import lru_cache
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.config import CostModel, SimConfig
+from repro.sim.failure import Fault, FaultSchedule
+from repro.sim.machine import RunResult, run_simulation
+from repro.sim.workload import InterpWorkload, TreeWorkload, Workload
+
+WorkloadFactory = Callable[[], Workload]
+
+
+# -- building blocks ----------------------------------------------------------
+
+
+def build_workload(spec: str) -> Tuple[WorkloadFactory, Optional[int]]:
+    """Resolve a workload spec string to ``(factory, tree_size)``.
+
+    ``tree_size`` is the task count for synthetic trees (used by the
+    checkpoint-memory scenario) and ``None`` for interpreter programs.
+    """
+    from repro.workloads import trees
+    from repro.workloads.suite import WORKLOADS
+
+    if spec in WORKLOADS:
+        return WORKLOADS[spec], None
+
+    kind, _, rest = spec.partition(":")
+    args = [int(a) for a in rest.split(":")] if rest and kind != "prog" else []
+    builders = {
+        "balanced": trees.balanced_tree,
+        "chain": trees.chain_tree,
+        "wide": trees.wide_tree,
+        "skewed": trees.skewed_tree,
+    }
+    if kind in builders:
+        tree = builders[kind](*args)
+        return (lambda: TreeWorkload(tree, spec)), len(tree)
+    if kind == "random":
+        seed, target = args
+        tree = trees.random_tree(seed=seed, target_tasks=target)
+        return (lambda: TreeWorkload(tree, spec)), len(tree)
+    if kind == "prog":
+        from repro.lang.programs import get_program
+
+        parts = rest.split(":")
+        prog_name, prog_args = parts[0], tuple(int(a) for a in parts[1:])
+        return (
+            lambda: InterpWorkload(get_program(prog_name, *prog_args), name=spec)
+        ), None
+    raise KeyError(f"unknown workload spec {spec!r}")
+
+
+def build_policy(spec: str):
+    """Resolve a policy spec string to a fresh policy instance."""
+    from repro.core import (
+        NoFaultTolerance,
+        ReplicatedExecution,
+        RollbackRecovery,
+        SpliceRecovery,
+    )
+
+    if spec.startswith("replicated"):
+        _, _, k = spec.partition(":")
+        return ReplicatedExecution(k=int(k) if k else 3)
+    simple = {
+        "none": NoFaultTolerance,
+        "rollback": RollbackRecovery,
+        "splice": SpliceRecovery,
+    }
+    try:
+        return simple[spec]()
+    except KeyError:
+        raise KeyError(f"unknown policy spec {spec!r}") from None
+
+
+def build_config(params: Mapping[str, Any]) -> SimConfig:
+    """Build a :class:`SimConfig` from point parameters."""
+    cost = CostModel(**params.get("cost", {}))
+    return SimConfig(
+        n_processors=int(params.get("processors", 4)),
+        topology=str(params.get("topology", "complete")),
+        scheduler=str(params.get("scheduler", "gradient")),
+        seed=int(params["seed"]),
+        cost=cost,
+        replication_factor=int(params.get("replication", 3)),
+    )
+
+
+def parse_fault_fracs(text: str) -> List[Tuple[float, int]]:
+    """Parse ``"0.5:1+0.9:4"`` into ``[(0.5, 1), (0.9, 4)]``."""
+    if not text:
+        return []
+    pairs = []
+    for item in text.split("+"):
+        frac, _, node = item.partition(":")
+        pairs.append((float(frac), int(node)))
+    return pairs
+
+
+def _metrics_dict(result: RunResult) -> Dict[str, Any]:
+    m = result.metrics
+    return {
+        "tasks_spawned": m.tasks_spawned,
+        "tasks_accepted": m.tasks_accepted,
+        "tasks_completed": m.tasks_completed,
+        "tasks_aborted": m.tasks_aborted,
+        "tasks_reissued": m.tasks_reissued,
+        "twins_created": m.twins_created,
+        "steps_total": m.steps_total,
+        "steps_wasted": m.steps_wasted,
+        "steps_salvaged": m.steps_salvaged,
+        "checkpoints_recorded": m.checkpoints_recorded,
+        "checkpoints_dropped": m.checkpoints_dropped,
+        "checkpoint_peak_held": m.checkpoint_peak_held,
+        "results_delivered": m.results_delivered,
+        "results_duplicate": m.results_duplicate,
+        "results_ignored": m.results_ignored,
+        "results_orphan_rerouted": m.results_orphan_rerouted,
+        "results_salvaged": m.results_salvaged,
+        "failures_injected": m.failures_injected,
+        "failures_detected": m.failures_detected,
+        "messages_total": m.messages_total,
+    }
+
+
+def _util_stats(
+    result: RunResult, dead: List[int]
+) -> Tuple[Optional[float], Optional[float]]:
+    util = result.metrics.utilization(result.makespan)
+    procs = [u for nid, u in util.items() if nid >= 0]
+    survivors = [u for nid, u in util.items() if nid >= 0 and nid not in dead]
+    mean = round(sum(procs) / len(procs), 6) if procs else None
+    spread = round(statistics.pstdev(survivors), 6) if len(survivors) > 1 else None
+    return mean, spread
+
+
+# -- runners ------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _baseline(workload: str, policy: str, config: SimConfig) -> Tuple[float, int, int]:
+    """Fault-free baseline ``(makespan, tasks_accepted, messages_total)``.
+
+    Many grid points of one sweep share the same baseline (e.g. every
+    fault fraction of one policy); memoizing per process restores the
+    old drivers' run-it-once cost without giving up point purity — the
+    memo is a pure function of its key, so parallel and serial runs
+    still agree byte-for-byte.
+    """
+    wfactory, _ = build_workload(workload)
+    result = run_simulation(
+        wfactory(), config, policy=build_policy(policy), collect_trace=False
+    )
+    if not result.completed:
+        raise RuntimeError(f"baseline run stalled: {result.stall_reason}")
+    return result.makespan, result.metrics.tasks_accepted, result.metrics.messages_total
+
+
+def run_machine_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One machine run (optionally faulted), as a flat JSON dict."""
+    wfactory, tree_size = build_workload(params["workload"])
+    config = build_config(params)
+    policy_spec = str(params.get("policy", "rollback"))
+
+    fault_pairs = parse_fault_fracs(str(params.get("faults", "")))
+    if params.get("fault_frac") is not None:
+        fault_pairs.append((float(params["fault_frac"]), int(params.get("victim", 1))))
+
+    base: Optional[Tuple[float, int, int]] = None
+    need_base = bool(fault_pairs) or params.get("speedup_base_processors") is not None
+    if need_base:
+        base_policy = str(params.get("base_policy") or policy_spec)
+        base_cfg = config
+        if params.get("speedup_base_processors") is not None:
+            base_cfg = config.with_(
+                n_processors=int(params["speedup_base_processors"])
+            )
+        base = _baseline(params["workload"], base_policy, base_cfg)
+
+    faults = FaultSchedule.of(
+        *(Fault(max(1.0, frac * base[0]), node) for frac, node in fault_pairs)
+    )
+    result = run_simulation(
+        wfactory(), config, policy=build_policy(policy_spec),
+        faults=faults, collect_trace=False,
+    )
+
+    util_mean, util_spread = _util_stats(result, [n for _, n in fault_pairs])
+    out: Dict[str, Any] = {
+        "workload": params["workload"],
+        "policy": policy_spec,
+        "processors": config.n_processors,
+        "seed": config.seed,
+        "completed": result.completed,
+        "verified": result.verified,
+        "correct": result.correct,
+        "value": repr(result.value),
+        "makespan": result.makespan,
+        "fault_times": [round(max(1.0, f * base[0]), 6) for f, _ in fault_pairs]
+        if base
+        else [],
+        "utilization_mean": util_mean,
+        "utilization_stddev_survivors": util_spread,
+        "metrics": _metrics_dict(result),
+    }
+    if tree_size is not None:
+        out["tree_size"] = tree_size
+    if base is not None:
+        base_makespan, base_accepted, base_messages = base
+        out["fault_free"] = {
+            "makespan": base_makespan,
+            "tasks_accepted": base_accepted,
+            "messages_total": base_messages,
+        }
+        if fault_pairs:
+            out["slowdown"] = round(result.makespan / base_makespan, 6)
+        if params.get("speedup_base_processors") is not None:
+            out["speedup"] = round(base_makespan / result.makespan, 6)
+    return out
+
+
+def run_figure_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Reproduce one paper figure and report its pass/fail + rendering."""
+    from repro.analysis import figures
+
+    report = figures.FIGURES[params["figure"]]()
+    return report.as_dict()
+
+
+@lru_cache(maxsize=None)
+def _periodic_base_makespan(depth: int, fanout: int, work: int, processors: int) -> float:
+    """Makespan of the unsynchronized periodic executor (pure, memoized —
+    every point of a periodic sweep anchors fault times on the same run)."""
+    from repro.baselines import PeriodicCheckpointSimulator
+    from repro.workloads.trees import balanced_tree
+
+    spec = balanced_tree(depth, fanout, work)
+    return PeriodicCheckpointSimulator(spec, processors, interval=10**9).run().makespan
+
+
+def run_periodic_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Periodic-vs-functional checkpointing comparison (one scheme).
+
+    ``scheme`` is ``periodic:INTERVAL`` or ``functional:POLICY``.  The
+    fault time is ``fault_frac x`` the unsynchronized periodic executor's
+    makespan, derived per point so points stay independent.
+    """
+    from repro.baselines import PeriodicCheckpointSimulator
+    from repro.workloads.trees import balanced_tree
+
+    depth = int(params.get("depth", 5))
+    fanout = int(params.get("fanout", 2))
+    work = int(params.get("work", 30))
+    processors = int(params.get("processors", 4))
+    spec = balanced_tree(depth, fanout, work)
+
+    fault_time = float(params.get("fault_frac", 0.6)) * _periodic_base_makespan(
+        depth, fanout, work, processors
+    )
+
+    scheme = str(params["scheme"])
+    kind, _, arg = scheme.partition(":")
+    if kind == "periodic":
+        interval = float(arg)
+        ff = PeriodicCheckpointSimulator(spec, processors, interval=interval).run()
+        faulted = PeriodicCheckpointSimulator(spec, processors, interval=interval).run(
+            fault_time=fault_time
+        )
+        return {
+            "scheme": scheme,
+            "fault_free_makespan": ff.makespan,
+            "sync_time": round(ff.checkpoint_time, 6),
+            "faulted_makespan": faulted.makespan,
+            "lost_work": round(faulted.lost_work, 6),
+            "completed": faulted.completed,
+            "verified": faulted.completed,
+        }
+    if kind == "functional":
+        config = SimConfig(n_processors=processors, seed=int(params["seed"]))
+        workload = lambda: TreeWorkload(spec, "bal")  # noqa: E731
+        ff = run_simulation(
+            workload(), config, policy=build_policy(arg), collect_trace=False
+        )
+        faulted = run_simulation(
+            workload(), config, policy=build_policy(arg),
+            faults=FaultSchedule.single(fault_time, int(params.get("victim", 1))),
+            collect_trace=False,
+        )
+        return {
+            "scheme": scheme,
+            "fault_free_makespan": ff.makespan,
+            "sync_time": 0.0,
+            "faulted_makespan": faulted.makespan,
+            "lost_work": float(faulted.metrics.steps_wasted),
+            "completed": faulted.completed,
+            "verified": faulted.verified,
+        }
+    raise KeyError(f"unknown scheme {scheme!r}")
+
+
+RUNNERS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
+    "machine": run_machine_point,
+    "figure": run_figure_point,
+    "periodic": run_periodic_point,
+}

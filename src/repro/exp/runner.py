@@ -1,0 +1,197 @@
+"""Parallel sweep runner with an on-disk JSON result cache.
+
+``run_scenario`` expands a registered scenario into its point grid, runs
+every point (serially or fanned out over a ``ProcessPoolExecutor``), and
+assembles per-point result dicts **in point order**.  Because points are
+independent pure functions of their parameters and results are keyed by
+index, a sweep produces byte-identical JSON no matter how many workers
+ran it — the serial-parity guarantee the tests pin down.
+
+Caching: the result payload is stored at
+``<cache_dir>/<scenario>/<spec_key>.json`` where ``spec_key`` is a
+stable hash of the spec's identity (name, runner, base, axes, version).
+Any change to the spec changes the key, so stale results are never
+served; a corrupt or unreadable cache file is treated as a miss.
+
+>>> result_path("/tmp/results", "demo", "abc123")
+'/tmp/results/demo/abc123.json'
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.exp.points import RUNNERS
+from repro.exp.scenario import Point, ScenarioSpec, expand, get_scenario
+
+
+def result_path(cache_dir: str, scenario: str, key: str) -> str:
+    """Cache-file location for one (scenario, spec-key) pair."""
+    return os.path.join(cache_dir, scenario, f"{key}.json")
+
+
+def run_point(spec: ScenarioSpec, point: Point) -> Dict[str, Any]:
+    """Execute one point through its spec's named runner."""
+    return RUNNERS[spec.runner](point.params)
+
+
+def _run_point_by_index(scenario_name: str, index: int) -> Dict[str, Any]:
+    """Worker entry: re-resolve the point from the registry and run it.
+
+    Only the scenario name and point index cross the process boundary,
+    so the worker recomputes the same parameters and seed the parent
+    would have used — nothing depends on pickled closures.
+    """
+    spec = get_scenario(scenario_name)
+    return run_point(spec, expand(spec)[index])
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one scenario sweep."""
+
+    scenario: str
+    key: str
+    points: List[Dict[str, Any]] = field(default_factory=list)
+    cache_hit: bool = False
+    cache_path: Optional[str] = None
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON document that is cached and printed by ``--json``."""
+        return {"scenario": self.scenario, "key": self.key, "points": self.points}
+
+    def to_json(self) -> str:
+        """Canonical rendering — byte-identical for identical results."""
+        return json.dumps(self.payload(), indent=2, sort_keys=True) + "\n"
+
+    def results(self) -> List[Dict[str, Any]]:
+        """Just the per-point result dicts, in point order."""
+        return [p["result"] for p in self.points]
+
+    def by_axes(self, *axis_names: str) -> Dict[Any, Dict[str, Any]]:
+        """Index results by axis value(s): 1 name -> value, else tuple."""
+        out: Dict[Any, Dict[str, Any]] = {}
+        for p in self.points:
+            key = tuple(p["params"][a] for a in axis_names)
+            out[key[0] if len(axis_names) == 1 else key] = p["result"]
+        return out
+
+
+def _load_cached(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if not isinstance(payload.get("points"), list):
+            return None
+        return payload
+    except (OSError, ValueError):
+        return None
+
+
+def _write_atomic(path: str, text: str) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def run_scenario(
+    scenario: Union[str, ScenarioSpec],
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    force: bool = False,
+) -> SweepResult:
+    """Run every point of a scenario; serve or populate the cache.
+
+    ``workers > 1`` fans points out over a process pool; results are
+    reassembled by point index, so the output is identical to a
+    ``workers=1`` run.  With ``cache_dir`` set, a prior run of the same
+    spec is returned straight from disk (unless ``force``) and fresh
+    runs are written back atomically.
+    """
+    spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
+    key = spec.key()
+    path = result_path(cache_dir, spec.name, key) if cache_dir else None
+
+    if path and not force:
+        payload = _load_cached(path)
+        if payload is not None:
+            return SweepResult(
+                scenario=spec.name,
+                key=key,
+                points=payload["points"],
+                cache_hit=True,
+                cache_path=path,
+            )
+
+    points = expand(spec)
+    if workers > 1 and len(points) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(points))) as pool:
+            results = list(
+                pool.map(
+                    _run_point_by_index,
+                    [spec.name] * len(points),
+                    range(len(points)),
+                )
+            )
+    else:
+        results = [run_point(spec, point) for point in points]
+
+    sweep = SweepResult(
+        scenario=spec.name,
+        key=key,
+        points=[
+            {
+                "index": point.index,
+                "params": dict(point.params),
+                "seed": point.seed,
+                "result": result,
+            }
+            for point, result in zip(points, results)
+        ],
+        cache_hit=False,
+        cache_path=path,
+    )
+    if path:
+        _write_atomic(path, sweep.to_json())
+    return sweep
+
+
+def sweep_table(sweep: SweepResult, spec: Optional[ScenarioSpec] = None) -> str:
+    """Render a sweep as a text table: axis columns + the spec's columns."""
+    from repro.util.tables import format_table
+
+    spec = spec if spec is not None else get_scenario(sweep.scenario)
+    axis_names = list(spec.axes)
+    columns = list(spec.columns)
+    header = ["#"] + axis_names + columns
+    rows = []
+    for p in sweep.points:
+        row: List[Any] = [p["index"]]
+        row += [p["params"].get(a) for a in axis_names]
+        for col in columns:
+            value = p["result"].get(col, p["result"].get("metrics", {}).get(col))
+            if isinstance(value, float):
+                value = round(value, 3)
+            row.append(value)
+        rows.append(row)
+    return format_table(header, rows, title=spec.title)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import doctest
+
+    doctest.testmod()

@@ -1,0 +1,207 @@
+"""Declarative scenario specs and the scenario registry.
+
+A *scenario* is a named, parameterized experiment: a base parameter set,
+a grid of sweep axes, and the name of a point runner (see
+:mod:`repro.exp.points`).  Expanding a scenario yields its *points* — one
+per cell of the axis grid, in a deterministic order — and each point
+carries a deterministic seed derived from the scenario name and the
+point's parameters, so reruns (and parallel runs) see identical streams.
+
+Everything in a spec is JSON-serializable: runners are referenced by
+name, not by callable.  That keeps specs hashable (for the result cache)
+and lets worker processes re-resolve a point from ``(scenario, index)``
+alone.
+
+>>> spec = ScenarioSpec(
+...     name="demo",
+...     title="demo sweep",
+...     description="two policies x two fault times",
+...     runner="machine",
+...     base={"workload": "balanced:3:2:10"},
+...     axes={"policy": ("rollback", "splice"), "fault_frac": (0.4, 0.8)},
+... )
+>>> [p.params["policy"] for p in expand(spec)]
+['rollback', 'rollback', 'splice', 'splice']
+>>> expand(spec)[0].seed == expand(spec)[0].seed  # stable across calls
+True
+>>> len({p.seed for p in expand(spec)})  # distinct per point
+4
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialize ``payload`` to a canonical JSON string.
+
+    Sorted keys and fixed separators make the encoding byte-stable, so it
+    can back both spec hashing and the on-disk result cache.
+
+    >>> canonical_json({"b": 1, "a": [1.5, "x"]})
+    '{"a":[1.5,"x"],"b":1}'
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(payload: Any, length: int = 16) -> str:
+    """Hex digest of the canonical JSON of ``payload`` (sha256 prefix).
+
+    Unlike ``hash()``, this is stable across processes and runs.
+    """
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return digest[:length]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, parameterized experiment.
+
+    ``base`` holds parameters shared by every point; ``axes`` maps axis
+    name -> tuple of values and is swept as a full cross product in
+    declaration order (last axis varies fastest).  ``runner`` names a
+    point runner registered in :data:`repro.exp.points.RUNNERS`.
+    ``columns`` lists result keys the CLI shows per point (display only —
+    it does not enter the cache key).  Bump ``version`` to invalidate
+    cached results when a runner's semantics change.
+    """
+
+    name: str
+    title: str
+    description: str
+    runner: str
+    base: Mapping[str, Any] = field(default_factory=dict)
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    columns: Tuple[str, ...] = ()
+    tags: Tuple[str, ...] = ()
+    #: Some scenarios *demonstrate* failure (e.g. replication with k=1
+    #: stalls under a fault); the CLI then doesn't turn failed points
+    #: into a nonzero exit code.
+    expect_failures: bool = False
+    version: int = 1
+
+    def identity(self) -> Dict[str, Any]:
+        """The JSON payload that defines this spec's result-cache key."""
+        return {
+            "name": self.name,
+            "runner": self.runner,
+            "base": dict(self.base),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "version": self.version,
+        }
+
+    def key(self) -> str:
+        """Stable hash of the spec (the result-cache key)."""
+        return stable_hash(self.identity())
+
+    def n_points(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+
+@dataclass(frozen=True)
+class Point:
+    """One cell of a scenario's grid: merged parameters plus a seed."""
+
+    scenario: str
+    index: int
+    params: Mapping[str, Any]
+    seed: int
+
+    def axis_values(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        """Just this point's values along the spec's sweep axes."""
+        return {axis: self.params[axis] for axis in spec.axes}
+
+
+def point_seed(scenario_name: str, params: Mapping[str, Any]) -> int:
+    """Deterministic 63-bit seed for one point.
+
+    Derived from the scenario name and the full parameter assignment via
+    sha256, so it is reproducible across processes, machines, and worker
+    counts — never from ``hash()`` or run order.
+    """
+    digest = hashlib.sha256(
+        canonical_json([scenario_name, dict(params)]).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def expand(spec: ScenarioSpec) -> List[Point]:
+    """Expand a spec into its ordered point list.
+
+    The order is the cross product of the axes in declaration order, so
+    it is identical on every run — results are assembled by point index
+    and therefore do not depend on worker scheduling.
+
+    If the merged parameters carry no explicit ``seed``, each point gets
+    a derived deterministic seed under the ``"seed"`` key.
+    """
+    names = list(spec.axes)
+    value_lists = [spec.axes[n] for n in names]
+    points: List[Point] = []
+    for index, combo in enumerate(itertools.product(*value_lists)):
+        params: Dict[str, Any] = dict(spec.base)
+        params.update(zip(names, combo))
+        if "seed" not in params:
+            params["seed"] = point_seed(spec.name, params)
+        points.append(
+            Point(
+                scenario=spec.name,
+                index=index,
+                params=params,
+                seed=params["seed"],
+            )
+        )
+    return points
+
+
+# -- registry -----------------------------------------------------------------
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add ``spec`` to the global registry (name must be unique)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    _ensure_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_scenarios() -> Dict[str, ScenarioSpec]:
+    """All registered scenarios, keyed by name (sorted)."""
+    _ensure_builtin()
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
+
+
+def _ensure_builtin() -> None:
+    """Make sure the built-in registry entries are loaded.
+
+    Lookup by name must work in freshly-spawned worker processes, which
+    import this module without going through :mod:`repro.exp`.
+    """
+    from repro.exp import registry  # noqa: F401  (import populates _REGISTRY)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import doctest
+
+    doctest.testmod()

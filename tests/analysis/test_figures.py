@@ -65,6 +65,16 @@ class TestFigure6:
         assert {o.policy for o in outcomes} == {"rollback", "splice"}
         assert all(o.residue_free for o in outcomes)
 
+    def test_de_states_rollback_aborts_splice_salvages(self):
+        # the paper's d/e states: rollback aborts the lingering child C
+        # while splice salvages it
+        outcomes = figure6().data["outcomes"]
+        rollback_de = [o for o in outcomes if o.policy == "rollback" and o.state in "de"]
+        splice_de = [o for o in outcomes if o.policy == "splice" and o.state in "de"]
+        assert rollback_de and splice_de
+        assert all(o.aborted > 0 for o in rollback_de)
+        assert all(o.salvaged > 0 for o in splice_de)
+
 
 class TestResidueWindows:
     def test_windows_monotone(self):

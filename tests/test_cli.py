@@ -90,3 +90,55 @@ class TestFaultParsing:
             _parse_fault("nope")
         with pytest.raises(argparse.ArgumentTypeError):
             _parse_fault("600")
+
+
+class TestExp:
+    def test_exp_list_shows_scenarios(self):
+        code, text = run_cli("exp", "list")
+        assert code == 0
+        assert "rollback-vs-splice" in text
+        assert "overhead-faultfree" in text
+        assert "smoke" in text
+
+    def test_exp_show(self):
+        code, text = run_cli("exp", "show", "smoke")
+        assert code == 0
+        assert "axes" in text and "fault_frac" in text
+        assert "point seeds" in text
+
+    def test_exp_show_unknown(self):
+        code, _ = run_cli("exp", "show", "no-such-scenario")
+        assert code == 2
+
+    def test_exp_run_unknown(self):
+        code, _ = run_cli("exp", "run", "no-such-scenario")
+        assert code == 2
+
+    def test_exp_run_no_cache(self):
+        code, text = run_cli("exp", "run", "smoke", "--no-cache")
+        assert code == 0
+        assert "rollback" in text and "splice" in text
+        assert "cache:" not in text
+
+    def test_exp_run_caches_and_hits(self, tmp_path):
+        cache = str(tmp_path / "results")
+        code, text = run_cli("exp", "run", "smoke", "--cache-dir", cache)
+        assert code == 0 and "cache: miss, computed" in text
+        code, text = run_cli("exp", "run", "smoke", "--cache-dir", cache)
+        assert code == 0 and "cache: hit" in text
+        code, text = run_cli("exp", "run", "smoke", "--cache-dir", cache, "--force")
+        assert code == 0 and "cache: miss, computed" in text
+
+    def test_exp_run_workers_match_serial(self, tmp_path):
+        import json
+
+        code1, text1 = run_cli(
+            "exp", "run", "smoke", "--no-cache", "--json", "--workers", "1"
+        )
+        code2, text2 = run_cli(
+            "exp", "run", "smoke", "--no-cache", "--json", "--workers", "2"
+        )
+        assert code1 == code2 == 0
+        assert text1 == text2
+        payload = json.loads(text1)
+        assert payload["scenario"] == "smoke" and len(payload["points"]) == 4

@@ -1,0 +1,65 @@
+"""Docs consistency checks (run in CI as the docs gate).
+
+Every scenario name referenced in README/docs must exist in the
+registry, and every registered scenario must be documented — so the
+README's "reproducing the paper" table and ``repro exp list`` can never
+drift apart silently.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from repro.exp import all_scenarios
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOC_FILES = ["README.md", "docs/ARCHITECTURE.md", "docs/SCENARIOS.md"]
+
+EXP_REF = re.compile(r"exp (?:run|show) ([a-z0-9][a-z0-9-]*)")
+
+
+def read_docs() -> dict:
+    texts = {}
+    for rel in DOC_FILES:
+        path = os.path.join(REPO_ROOT, rel)
+        with open(path, "r", encoding="utf-8") as fh:
+            texts[rel] = fh.read()
+    return texts
+
+
+class TestDocsExist:
+    @pytest.mark.parametrize("rel", DOC_FILES)
+    def test_doc_file_present(self, rel):
+        assert os.path.exists(os.path.join(REPO_ROOT, rel)), rel
+
+    def test_readme_names_tier1_command(self):
+        readme = read_docs()["README.md"]
+        assert "python -m pytest -x -q" in readme
+        assert "PYTHONPATH=src" in readme
+
+    def test_readme_points_at_quickstart(self):
+        readme = read_docs()["README.md"]
+        assert "examples/quickstart.py" in readme
+        assert os.path.exists(os.path.join(REPO_ROOT, "examples", "quickstart.py"))
+
+
+class TestScenarioReferences:
+    def test_every_referenced_scenario_is_registered(self):
+        registered = set(all_scenarios())
+        for rel, text in read_docs().items():
+            for name in EXP_REF.findall(text):
+                assert name in registered, f"{rel} references unknown scenario {name!r}"
+
+    def test_docs_reference_at_least_the_core_scenarios(self):
+        refs = set()
+        for text in read_docs().values():
+            refs.update(EXP_REF.findall(text))
+        assert {"rollback-vs-splice", "overhead-faultfree", "smoke"} <= refs
+
+    def test_every_registered_scenario_is_documented(self):
+        corpus = "\n".join(read_docs().values())
+        for name in all_scenarios():
+            assert name in corpus, f"scenario {name!r} missing from README/docs"
