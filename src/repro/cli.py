@@ -6,6 +6,8 @@
     python -m repro figures
     python -m repro exp list
     python -m repro exp run rollback-vs-splice --workers 4
+    python -m repro perf run --quick
+    python -m repro perf compare BENCH_core.json
 
 ``run`` executes a named workload under a policy with optional fault
 injection and prints the run summary (and optionally the recovery trace);
@@ -14,7 +16,11 @@ workload and policy names.  The ``exp`` subcommands drive the scenario
 registry (:mod:`repro.exp`): ``exp list`` shows every registered
 scenario, ``exp show`` prints one spec's axes and parameters, and ``exp
 run`` executes a sweep with process-pool fan-out and on-disk result
-caching (see ``docs/SCENARIOS.md``).
+caching (see ``docs/SCENARIOS.md``).  The ``perf`` subcommands drive the
+benchmark subsystem (:mod:`repro.perf`): ``perf list`` shows the
+registered benchmarks, ``perf run`` measures them into canonical JSON
+(``BENCH_core.json``), and ``perf compare`` gates a fresh run against a
+committed baseline (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -122,6 +128,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_run.add_argument(
         "--json", action="store_true", help="print the raw result JSON payload"
+    )
+
+    perf = sub.add_parser("perf", help="benchmark subsystem: measure and compare")
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_sub.add_parser("list", help="list registered benchmarks")
+    perf_run = perf_sub.add_parser("run", help="run benchmarks, emit canonical JSON")
+    perf_run.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="BENCH",
+        help="run only this benchmark (repeatable; default: all)",
+    )
+    perf_run.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer warmup passes and trials (same workloads) — the CI smoke mode",
+    )
+    perf_run.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "where to write the result JSON (default: ./BENCH_core.json in "
+            "full mode; quick mode writes nothing unless --out is given, so "
+            "it cannot clobber the committed full-mode baseline)"
+        ),
+    )
+    perf_run.add_argument(
+        "--no-write", action="store_true", help="measure and print only; write nothing"
+    )
+    perf_run.add_argument(
+        "--json", action="store_true", help="print the raw result JSON payload"
+    )
+    perf_cmp = perf_sub.add_parser(
+        "compare", help="compare a benchmark run against a baseline"
+    )
+    perf_cmp.add_argument("baseline", help="baseline JSON (e.g. BENCH_core.json)")
+    perf_cmp.add_argument(
+        "current",
+        nargs="?",
+        default=None,
+        help="current-run JSON; omitted = run a fresh --quick suite now",
+    )
+    perf_cmp.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="regression ratio (current/baseline median) that fails the gate",
     )
     return parser
 
@@ -265,6 +319,94 @@ def cmd_exp_run(args, out) -> int:
     return 0
 
 
+def cmd_perf_list(out) -> int:
+    from repro.perf import all_benches
+
+    rows = [
+        [spec.name, spec.kind, spec.trials, spec.title]
+        for spec in all_benches().values()
+    ]
+    print(
+        format_table(["benchmark", "kind", "trials", "title"], rows, title="Benchmarks"),
+        file=out,
+    )
+    return 0
+
+
+def cmd_perf_run(args, out) -> int:
+    from repro.perf import run_suite, suite_table
+    from repro.util.jsonio import write_canonical_json
+
+    try:
+        payload = run_suite(names=args.only or None, quick=args.quick)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        from repro.util.jsonio import canonical_dumps
+
+        print(canonical_dumps(payload), file=out, end="")
+    else:
+        print(suite_table(payload), file=out)
+    # Only a full-mode, full-suite run may default onto the committed
+    # baseline path; --quick and --only runs write nowhere unless the
+    # user names a destination (a partial or quick payload must never
+    # clobber BENCH_core.json).
+    out_path = args.out
+    if out_path is None and not args.quick and not args.only:
+        out_path = "BENCH_core.json"
+    if out_path is not None and not args.no_write:
+        write_canonical_json(out_path, payload)
+        if not args.json:
+            print(f"wrote {out_path}", file=out)
+    elif out_path is None and not args.json:
+        mode = "quick mode" if args.quick else "partial suite"
+        print(f"({mode}: no file written; pass --out to save)", file=out)
+    return 0
+
+
+def cmd_perf_compare(args, out) -> int:
+    import json as _json
+
+    from repro.perf import (
+        DEFAULT_THRESHOLD,
+        compare,
+        compare_table,
+        failures,
+        run_suite,
+    )
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = _json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    if args.current is not None:
+        try:
+            with open(args.current, "r", encoding="utf-8") as fh:
+                current = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read current {args.current}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        print("no current run given: measuring a fresh --quick suite...", file=out)
+        current = run_suite(quick=True)
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    deltas = compare(baseline, current, threshold=threshold)
+    print(compare_table(deltas), file=out)
+    failed = failures(deltas)
+    if failed:
+        print(
+            f"perf gate FAILED (threshold {threshold}x): "
+            + ", ".join(f"{d.name} [{d.status}]" for d in failed),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf gate ok (threshold {threshold}x)", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -277,6 +419,12 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         if args.exp_command == "show":
             return cmd_exp_show(args, out)
         return cmd_exp_run(args, out)
+    if args.command == "perf":
+        if args.perf_command == "list":
+            return cmd_perf_list(out)
+        if args.perf_command == "run":
+            return cmd_perf_run(args, out)
+        return cmd_perf_compare(args, out)
     return cmd_run(args, out)
 
 

@@ -23,12 +23,27 @@ spawn's holder, not merely a stamp ancestor.  The ``covers`` predicate
 (supplied by the policy, which can see instance genealogy) encodes this;
 with ``covers=None`` the table degrades to the paper's stamp-only rule,
 which is exact in the absence of racing lineages.
+
+**Indexing.**  ``record`` runs on every placement acknowledgement, so the
+§3.2 comparison must not scan the whole entry (the naive rule is
+quadratic over a run).  Each entry therefore keeps two digit-tuple
+indexes beside the checkpoint map:
+
+- ``by_stamp``: exact stamp → recorded keys.  The "is B2 covered?" test
+  walks B2's ancestor prefixes root-ward — O(depth) hash probes instead
+  of O(entry) ``is_ancestor_of`` calls.
+- ``desc_index``: proper ancestor prefix → recorded descendant keys.
+  The reverse (subsumption) test — "does B2 cover recorded descendants?"
+  — is a single probe.
+
+Both indexes key on raw ``digits`` tuples, not ``LevelStamp`` objects,
+so probes allocate nothing but tuple slices.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.packets import TaskPacket
 from repro.core.stamps import LevelStamp
@@ -37,7 +52,7 @@ from repro.core.stamps import LevelStamp
 CoversFn = Callable[[int, int], bool]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FunctionalCheckpoint:
     """A recovery point for one function application.
 
@@ -52,13 +67,47 @@ class FunctionalCheckpoint:
 
 
 _Key = Tuple[LevelStamp, int]  # (child stamp, holder task uid)
+_Digits = tuple
+
+
+class _DestEntry:
+    """One destination's checkpoints plus the two stamp indexes."""
+
+    __slots__ = ("checkpoints", "by_stamp", "desc_index")
+
+    def __init__(self) -> None:
+        self.checkpoints: Dict[_Key, FunctionalCheckpoint] = {}
+        self.by_stamp: Dict[_Digits, List[_Key]] = {}
+        self.desc_index: Dict[_Digits, Set[_Key]] = {}
+
+    def add(self, key: _Key) -> None:
+        digits = key[0].digits
+        self.by_stamp.setdefault(digits, []).append(key)
+        for depth in range(len(digits)):
+            self.desc_index.setdefault(digits[:depth], set()).add(key)
+
+    def remove(self, key: _Key) -> None:
+        del self.checkpoints[key]
+        digits = key[0].digits
+        siblings = self.by_stamp[digits]
+        siblings.remove(key)
+        if not siblings:
+            del self.by_stamp[digits]
+        for depth in range(len(digits)):
+            prefix = digits[:depth]
+            descendants = self.desc_index.get(prefix)
+            if descendants is not None:
+                descendants.discard(key)
+                if not descendants:
+                    del self.desc_index[prefix]
 
 
 class CheckpointTable:
     """Per-processor table of topmost functional checkpoints by destination."""
 
     def __init__(self) -> None:
-        self._entries: Dict[int, Dict[_Key, FunctionalCheckpoint]] = {}
+        self._entries: Dict[int, _DestEntry] = {}
+        self._held = 0
         self.recorded = 0
         self.dropped = 0
         self.suppressed = 0  # spawns that were descendants of an entry
@@ -81,45 +130,59 @@ class CheckpointTable:
         ``covers`` restricts coverage to the same activation lineage (see
         module docstring); ``None`` means stamp-only coverage.
         """
-        entry = self._entries.setdefault(dest, {})
-        for (s, uid), cp in entry.items():
-            if (s == stamp or s.is_ancestor_of(stamp)) and (
-                covers is None or covers(uid, task_uid)
-            ):
-                self.suppressed += 1
-                return None
+        entry = self._entries.get(dest)
+        if entry is None:
+            entry = self._entries[dest] = _DestEntry()
+        digits = stamp.digits
+        # Coverage test: walk the stamp and its proper ancestors leaf-ward
+        # to root-ward; any recorded holder in the same lineage suppresses.
+        by_stamp = entry.by_stamp
+        if by_stamp:
+            for depth in range(len(digits), -1, -1):
+                keys = by_stamp.get(digits[:depth])
+                if keys:
+                    for key in keys:
+                        if covers is None or covers(key[1], task_uid):
+                            self.suppressed += 1
+                            return None
         # A new topmost stamp can also *subsume* previously recorded
         # descendants of the same lineage (possible after recovery
         # re-placements): drop them so the invariant holds.
-        subsumed = [
-            key
-            for key, cp in entry.items()
-            if stamp.is_ancestor_of(key[0])
-            and (covers is None or covers(task_uid, key[1]))
-        ]
-        for key in subsumed:
-            del entry[key]
-            self.dropped += 1
+        descendants = entry.desc_index.get(digits)
+        if descendants:
+            subsumed = [
+                key
+                for key in descendants
+                if covers is None or covers(task_uid, key[1])
+            ]
+            for key in subsumed:
+                entry.remove(key)
+                self._held -= 1
+                self.dropped += 1
         checkpoint = FunctionalCheckpoint(stamp, dest, packet, task_uid)
-        entry[(stamp, task_uid)] = checkpoint
+        key = (stamp, task_uid)
+        entry.checkpoints[key] = checkpoint
+        entry.add(key)
         self.recorded += 1
-        self.peak_held = max(self.peak_held, self.held())
+        self._held += 1
+        if self._held > self.peak_held:
+            self.peak_held = self._held
         return checkpoint
 
     def drop(self, dest: int, stamp: LevelStamp, task_uid: Optional[int] = None) -> bool:
         """Remove checkpoint(s) for ``stamp`` (optionally one holder's)."""
         entry = self._entries.get(dest)
-        if not entry:
+        if entry is None:
             return False
-        keys = [
-            key
-            for key in entry
-            if key[0] == stamp and (task_uid is None or key[1] == task_uid)
-        ]
-        for key in keys:
-            del entry[key]
+        keys = entry.by_stamp.get(stamp.digits)
+        if not keys:
+            return False
+        matched = [key for key in keys if task_uid is None or key[1] == task_uid]
+        for key in matched:
+            entry.remove(key)
+            self._held -= 1
             self.dropped += 1
-        return bool(keys)
+        return bool(matched)
 
     def drop_everywhere(self, stamp: LevelStamp, task_uid: Optional[int] = None) -> int:
         """Remove a stamp from all entries (placement changed or unknown)."""
@@ -133,22 +196,27 @@ class CheckpointTable:
 
     def entry(self, dest: int) -> List[FunctionalCheckpoint]:
         """Topmost checkpoints for tasks resident on ``dest`` (sorted)."""
-        entry = self._entries.get(dest, {})
-        return sorted(entry.values(), key=lambda c: (c.stamp.sort_key(), c.task_uid))
+        entry = self._entries.get(dest)
+        if entry is None:
+            return []
+        return sorted(
+            entry.checkpoints.values(), key=lambda c: (c.stamp.sort_key(), c.task_uid)
+        )
 
     def lookup(self, stamp: LevelStamp) -> Optional[FunctionalCheckpoint]:
+        digits = stamp.digits
         for entry in self._entries.values():
-            for (s, _uid), cp in entry.items():
-                if s == stamp:
-                    return cp
+            keys = entry.by_stamp.get(digits)
+            if keys:
+                return entry.checkpoints[keys[0]]
         return None
 
     def held(self) -> int:
-        """Number of checkpoints currently retained."""
-        return sum(len(e) for e in self._entries.values())
+        """Number of checkpoints currently retained (O(1))."""
+        return self._held
 
     def destinations(self) -> List[int]:
-        return sorted(d for d, e in self._entries.items() if e)
+        return sorted(d for d, e in self._entries.items() if e.checkpoints)
 
     def __iter__(self) -> Iterator[FunctionalCheckpoint]:
         for dest in sorted(self._entries):
@@ -157,9 +225,9 @@ class CheckpointTable:
     def check_invariant(self) -> None:
         """Assert the per-lineage topmost invariant (stamp-only form: no
         two entries of one destination may be stamp-related *and* share a
-        holder)."""
+        holder), plus index/checkpoint consistency."""
         for dest, entry in self._entries.items():
-            keys = list(entry)
+            keys = list(entry.checkpoints)
             for a_stamp, a_uid in keys:
                 for b_stamp, b_uid in keys:
                     if (a_stamp, a_uid) != (b_stamp, b_uid) and a_uid == b_uid:
@@ -168,3 +236,8 @@ class CheckpointTable:
                                 f"topmost invariant violated in entry {dest}: "
                                 f"{a_stamp} covers {b_stamp} (holder {a_uid})"
                             )
+            indexed = [key for keys in entry.by_stamp.values() for key in keys]
+            if sorted(indexed, key=repr) != sorted(keys, key=repr):
+                raise AssertionError(f"by_stamp index out of sync in entry {dest}")
+        if self._held != sum(len(e.checkpoints) for e in self._entries.values()):
+            raise AssertionError("held counter out of sync with entries")

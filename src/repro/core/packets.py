@@ -27,7 +27,7 @@ from repro.core.stamps import LevelStamp
 SUPER_ROOT_NODE = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReturnAddress:
     """Where a task's result packet must be forwarded.
 
@@ -44,7 +44,7 @@ class ReturnAddress:
         return f"{self.node}#{self.instance}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkSpec:
     """What the task computes.
 
@@ -69,7 +69,7 @@ class WorkSpec:
         return f"<tree {self.tree_node}>"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskPacket:
     """An activation record for one function application.
 

@@ -113,11 +113,12 @@ class NoFaultTolerance(FaultTolerance):
 
     def on_packet_undeliverable(self, node, msg, dead_node) -> None:
         # Without recovery machinery the packet is simply lost.
-        node.trace.emit(
-            node.machine.queue.now,
-            node.id,
-            "delivery_failed",
-            msg_type="task_packet_lost",
-            stamp=str(msg.packet.stamp),
-            dead=dead_node,
-        )
+        if node.trace.enabled:
+            node.trace.emit(
+                node.machine.queue.now,
+                node.id,
+                "delivery_failed",
+                msg_type="task_packet_lost",
+                stamp=str(msg.packet.stamp),
+                dead=dead_node,
+            )

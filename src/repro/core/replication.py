@@ -136,25 +136,27 @@ class ReplicatedExecution(FaultTolerance):
             return False
         record.votes.append(msg.value)
         node.metrics.votes_recorded += 1
-        node.trace.emit(
-            node.queue.now,
-            node.id,
-            "vote_recorded",
-            stamp=str(msg.sender_stamp),
-            replica=msg.replica,
-            votes=len(record.votes),
-        )
+        if node.trace.enabled:
+            node.trace.emit(
+                node.queue.now,
+                node.id,
+                "vote_recorded",
+                stamp=str(msg.sender_stamp),
+                replica=msg.replica,
+                votes=len(record.votes),
+            )
         agreeing = sum(1 for v in record.votes if value_equal(v, msg.value))
         if agreeing >= self.majority:
             record.vote_decided = True
             node.metrics.votes_decided += 1
-            node.trace.emit(
-                node.queue.now,
-                node.id,
-                "vote_decided",
-                stamp=str(msg.sender_stamp),
-                votes=agreeing,
-            )
+            if node.trace.enabled:
+                node.trace.emit(
+                    node.queue.now,
+                    node.id,
+                    "vote_decided",
+                    stamp=str(msg.sender_stamp),
+                    votes=agreeing,
+                )
             node.deliver_to_record(task, record, msg)
         return True
 

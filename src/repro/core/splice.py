@@ -93,13 +93,14 @@ class SpliceRecovery(RollbackRecovery):
             return
         grandparent_node = sender.packet.grandparent_node
         node.metrics.results_orphan_rerouted += 1
-        node.trace.emit(
-            node.queue.now,
-            node.id,
-            "result_orphan_rerouted",
-            stamp=str(msg.sender_stamp),
-            to=grandparent_node,
-        )
+        if node.trace.enabled:
+            node.trace.emit(
+                node.queue.now,
+                node.id,
+                "result_orphan_rerouted",
+                stamp=str(msg.sender_stamp),
+                to=grandparent_node,
+            )
         reroute = ResultMsg(
             src=node.id,
             dst=grandparent_node,
@@ -127,13 +128,14 @@ class SpliceRecovery(RollbackRecovery):
         dead_task_stamp = msg.sender_stamp.parent()
         entry = node.spawn_index.get(dead_task_stamp)
         if entry is None:
-            node.trace.emit(
-                node.queue.now,
-                node.id,
-                "result_ignored",
-                stamp=str(msg.sender_stamp),
-                reason="no-retained-packet",
-            )
+            if node.trace.enabled:
+                node.trace.emit(
+                    node.queue.now,
+                    node.id,
+                    "result_ignored",
+                    stamp=str(msg.sender_stamp),
+                    reason="no-retained-packet",
+                )
             node.metrics.results_ignored += 1
             return True
         holder_uid, record = entry
@@ -141,13 +143,14 @@ class SpliceRecovery(RollbackRecovery):
             # The dead task's answer already arrived (via an earlier twin
             # or before the failure): this orphan return is obsolete.
             node.metrics.results_ignored += 1
-            node.trace.emit(
-                node.queue.now,
-                node.id,
-                "result_ignored",
-                stamp=str(msg.sender_stamp),
-                reason="parent-result-known",
-            )
+            if node.trace.enabled:
+                node.trace.emit(
+                    node.queue.now,
+                    node.id,
+                    "result_ignored",
+                    stamp=str(msg.sender_stamp),
+                    reason="parent-result-known",
+                )
             return True
         state: _NodeState = node.ft_state
         twin = state.twins.get(dead_task_stamp)
@@ -169,9 +172,10 @@ class SpliceRecovery(RollbackRecovery):
         twin = _TwinState(stamp=stamp)
         state.twins[stamp] = twin
         node.metrics.twins_created += 1
-        node.trace.emit(
-            node.queue.now, node.id, "twin_created", stamp=str(stamp), reactive=True
-        )
+        if node.trace.enabled:
+            node.trace.emit(
+                node.queue.now, node.id, "twin_created", stamp=str(stamp), reactive=True
+            )
         record.checkpointed = False
         self.table_of(node).drop_everywhere(stamp, holder.uid)
         node.reissue_record(holder, record, reason="splice-twin")
@@ -196,13 +200,14 @@ class SpliceRecovery(RollbackRecovery):
                 relayed=True,
             )
             node.metrics.results_relayed += 1
-            node.trace.emit(
-                node.queue.now,
-                node.id,
-                "result_relayed",
-                stamp=str(relay.sender_stamp),
-                to=executor,
-            )
+            if node.trace.enabled:
+                node.trace.emit(
+                    node.queue.now,
+                    node.id,
+                    "result_relayed",
+                    stamp=str(relay.sender_stamp),
+                    to=executor,
+                )
             if executor == node.id:
                 node.on_message(relay)
             else:
@@ -247,13 +252,14 @@ class SpliceRecovery(RollbackRecovery):
             if twin is None:
                 state.twins[checkpoint.stamp] = _TwinState(stamp=checkpoint.stamp)
                 node.metrics.twins_created += 1
-                node.trace.emit(
-                    node.queue.now,
-                    node.id,
-                    "twin_created",
-                    stamp=str(checkpoint.stamp),
-                    reactive=False,
-                )
+                if node.trace.enabled:
+                    node.trace.emit(
+                        node.queue.now,
+                        node.id,
+                        "twin_created",
+                        stamp=str(checkpoint.stamp),
+                        reactive=False,
+                    )
             else:
                 # The previous twin died with this processor: forget its
                 # placement so relays buffer until the re-reissue is acked.

@@ -41,7 +41,7 @@ def _validate_digit(digit: Digit) -> None:
     raise TypeError(f"invalid stamp digit: {digit!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LevelStamp:
     """A task's level stamp: the tuple of digits from the root.
 
@@ -55,7 +55,25 @@ class LevelStamp:
         for digit in self.digits:
             _validate_digit(digit)
 
+    def __hash__(self) -> int:
+        # The dataclass-generated hash wraps digits in another tuple;
+        # stamps key the simulator's hottest dicts, so hash the digits
+        # directly (consistent with the generated __eq__ on digits).
+        return hash(self.digits)
+
     # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def _unchecked(digits: Tuple[Digit, ...]) -> "LevelStamp":
+        """Internal: build a stamp from already-validated digits.
+
+        Derivations of an existing stamp (child, parent, prefix) only
+        ever recombine validated digits; skipping ``__post_init__``'s
+        re-validation keeps them O(copy) instead of O(depth) checks.
+        """
+        stamp = object.__new__(LevelStamp)
+        object.__setattr__(stamp, "digits", digits)
+        return stamp
 
     @staticmethod
     def root() -> "LevelStamp":
@@ -69,19 +87,19 @@ class LevelStamp:
     def child(self, digit: Digit) -> "LevelStamp":
         """The stamp of this task's child at spawn position ``digit``."""
         _validate_digit(digit)
-        return LevelStamp(self.digits + (digit,))
+        return LevelStamp._unchecked(self.digits + (digit,))
 
     def parent(self) -> "LevelStamp":
         """The parent task's stamp; the root has no parent."""
         if not self.digits:
             raise ValueError("the root stamp has no parent")
-        return LevelStamp(self.digits[:-1])
+        return LevelStamp._unchecked(self.digits[:-1])
 
     def ancestor_at(self, depth: int) -> "LevelStamp":
         """The ancestor stamp at the given depth (0 = root)."""
         if not 0 <= depth <= self.depth:
             raise ValueError(f"depth {depth} out of range for {self}")
-        return LevelStamp(self.digits[:depth])
+        return LevelStamp._unchecked(self.digits[:depth])
 
     # -- structure ----------------------------------------------------------
 
@@ -147,7 +165,7 @@ class LevelStamp:
             if a != b:
                 break
             prefix.append(a)
-        return LevelStamp(tuple(prefix))
+        return LevelStamp._unchecked(tuple(prefix))
 
     # -- ordering / rendering -----------------------------------------------
 

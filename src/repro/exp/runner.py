@@ -21,13 +21,13 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from repro.exp.points import RUNNERS
 from repro.exp.scenario import Point, ScenarioSpec, expand, get_scenario
+from repro.util.jsonio import canonical_dumps, write_atomic
 
 
 def result_path(cache_dir: str, scenario: str, key: str) -> str:
@@ -66,8 +66,12 @@ class SweepResult:
         return {"scenario": self.scenario, "key": self.key, "points": self.points}
 
     def to_json(self) -> str:
-        """Canonical rendering — byte-identical for identical results."""
-        return json.dumps(self.payload(), indent=2, sort_keys=True) + "\n"
+        """Canonical rendering — byte-identical for identical results.
+
+        Shared with ``repro perf`` via :mod:`repro.util.jsonio`, so every
+        committed/cached JSON artifact uses one encoding.
+        """
+        return canonical_dumps(self.payload())
 
     def results(self) -> List[Dict[str, Any]]:
         """Just the per-point result dicts, in point order."""
@@ -91,21 +95,6 @@ def _load_cached(path: str) -> Optional[Dict[str, Any]]:
         return payload
     except (OSError, ValueError):
         return None
-
-
-def _write_atomic(path: str, text: str) -> None:
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            fh.write(text)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
 
 
 def run_scenario(
@@ -166,7 +155,7 @@ def run_scenario(
         cache_path=path,
     )
     if path:
-        _write_atomic(path, sweep.to_json())
+        write_atomic(path, sweep.to_json())
     return sweep
 
 

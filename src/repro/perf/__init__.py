@@ -1,0 +1,37 @@
+"""Performance benchmark subsystem.
+
+Macro workloads and micro kernels with warmup, repeated trials, and
+median/IQR statistics, emitting canonical JSON (``BENCH_core.json``)
+that ``repro perf compare`` gates against.  See ``docs/PERFORMANCE.md``
+for methodology and the regression-triage guide.
+
+    python -m repro perf list
+    python -m repro perf run --out BENCH_core.json
+    python -m repro perf run --quick --out /tmp/bench.json
+    python -m repro perf compare BENCH_core.json /tmp/bench.json
+"""
+
+from repro.perf.bench import BenchSpec, all_benches, get_bench, register
+from repro.perf.runner import (
+    DEFAULT_THRESHOLD,
+    compare,
+    compare_table,
+    failures,
+    run_bench,
+    run_suite,
+    suite_table,
+)
+
+__all__ = [
+    "BenchSpec",
+    "all_benches",
+    "get_bench",
+    "register",
+    "DEFAULT_THRESHOLD",
+    "compare",
+    "compare_table",
+    "failures",
+    "run_bench",
+    "run_suite",
+    "suite_table",
+]

@@ -1,0 +1,106 @@
+"""Benchmark specs and the perf registry.
+
+A *benchmark* is a named, self-contained measurement: a setup factory
+that builds a zero-argument **timed thunk**, plus trial/warmup counts.
+The runner (:mod:`repro.perf.runner`) calls the factory once (untimed),
+then times the thunk ``warmup + trials`` times and reports median/IQR
+over the trials.
+
+Two kinds:
+
+- ``macro`` — whole simulated runs through the public entry points
+  (fault-free evaluation, recovery storms, a registry sweep).  These are
+  the numbers the ROADMAP's "fast as the hardware allows" is judged by.
+- ``micro`` — isolated kernels of the hot path (event queue, checkpoint
+  table, stamp ordering, network delivery) that localize a macro
+  regression to a subsystem.
+
+Every thunk returns a small dict of *checks* — deterministic counters
+(tasks completed, events processed, result values).  The runner asserts
+the checks are identical across trials, and ``repro perf compare``
+asserts they are identical across runs: timing may drift with hardware,
+semantics may not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping
+
+#: factory(quick) -> zero-arg timed thunk; the thunk returns its checks.
+BenchFactory = Callable[[bool], Callable[[], Mapping[str, Any]]]
+
+KINDS = ("macro", "micro")
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark.
+
+    ``quick`` mode (CI smoke) reduces trials/warmup but **never** the
+    workload itself, so quick medians stay comparable with a committed
+    full-mode baseline.
+    """
+
+    name: str
+    kind: str  # "macro" | "micro"
+    title: str
+    description: str
+    factory: BenchFactory
+    trials: int = 7
+    warmup: int = 2
+    quick_trials: int = 3
+    quick_warmup: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"bench kind must be one of {KINDS}, got {self.kind!r}")
+        if not self.name.startswith(f"{self.kind}-"):
+            raise ValueError(
+                f"bench name {self.name!r} must carry its kind prefix {self.kind}-"
+            )
+        if self.trials < 1 or self.quick_trials < 1:
+            raise ValueError("benchmarks need at least one trial")
+
+    def counts(self, quick: bool) -> tuple:
+        """``(warmup, trials)`` for the chosen mode."""
+        return (
+            (self.quick_warmup, self.quick_trials) if quick else (self.warmup, self.trials)
+        )
+
+
+_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def register(spec: BenchSpec) -> BenchSpec:
+    """Add ``spec`` to the global perf registry (name must be unique)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"benchmark {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_bench(name: str) -> BenchSpec:
+    """Look up a registered benchmark by name."""
+    _ensure_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_benches() -> Dict[str, BenchSpec]:
+    """All registered benchmarks, keyed by name (sorted, macros first)."""
+    _ensure_builtin()
+    order = {"macro": 0, "micro": 1}
+    return {
+        name: _REGISTRY[name]
+        for name in sorted(_REGISTRY, key=lambda n: (order[_REGISTRY[n].kind], n))
+    }
+
+
+def _ensure_builtin() -> None:
+    """Load the built-in benchmark definitions into the registry."""
+    from repro.perf import registry  # noqa: F401  (import populates _REGISTRY)

@@ -1,0 +1,371 @@
+"""The built-in benchmarks.
+
+Macro workloads exercise the simulator through its public entry points;
+micro kernels isolate the four subsystems the profile shows dominate a
+run: the event queue, the checkpoint table, stamp ordering, and network
+delivery.  Workload sizes are identical in quick and full mode (only
+trial counts differ), so a quick CI run is comparable against the
+committed full-mode ``BENCH_core.json``.
+
+All seeds and fault schedules are fixed constants: a benchmark's checks
+(task counts, final values, event counts) must be byte-stable across
+trials, runs, and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from repro.perf.bench import BenchSpec, register
+
+# One shared multiprocessor shape for the macro runs: big enough that
+# scheduling, checkpointing, and message traffic all matter; small enough
+# that a full suite finishes in well under a minute.
+_PROCESSORS = 8
+_FAULTFREE_TREE = "balanced:10:2:20"  # 2047 tasks
+_STORM_TREE = "balanced:9:2:20"  # 1023 tasks
+_STORM_FRACS: Tuple[Tuple[float, int], ...] = ((0.25, 1), (0.45, 2), (0.65, 3))
+
+
+def _run_checks(result) -> Dict[str, Any]:
+    """The determinism checks every machine-run thunk reports."""
+    return {
+        "completed": result.completed,
+        "value": repr(result.value),
+        "makespan": result.makespan,
+        "tasks_completed": result.metrics.tasks_completed,
+        "tasks_accepted": result.metrics.tasks_accepted,
+        "messages_total": result.metrics.messages_total,
+    }
+
+
+def _machine_factory(
+    workload: str,
+    policy: str,
+    fault_fracs: Tuple[Tuple[float, int], ...] = (),
+    collect_trace: bool = False,
+) -> Callable[[bool], Callable[[], Mapping[str, Any]]]:
+    """Factory for one repeated machine run (build + evaluate per trial)."""
+
+    def factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
+        from repro.config import SimConfig
+        from repro.exp.points import build_policy, build_workload
+        from repro.sim.failure import Fault, FaultSchedule
+        from repro.sim.machine import run_simulation
+
+        wfactory, _ = build_workload(workload)
+        config = SimConfig(n_processors=_PROCESSORS, seed=0)
+        faults = FaultSchedule.none()
+        if fault_fracs:
+            base = run_simulation(
+                wfactory(), config, policy=build_policy(policy), collect_trace=False
+            )
+            if not base.completed:  # pragma: no cover - setup sanity
+                raise RuntimeError(f"baseline run stalled: {base.stall_reason}")
+            faults = FaultSchedule.of(
+                *(Fault(max(1.0, frac * base.makespan), node) for frac, node in fault_fracs)
+            )
+
+        def thunk() -> Mapping[str, Any]:
+            result = run_simulation(
+                wfactory(),
+                config,
+                policy=build_policy(policy),
+                faults=faults,
+                collect_trace=collect_trace,
+            )
+            checks = _run_checks(result)
+            checks["trace_records"] = len(result.trace)
+            return checks
+
+        return thunk
+
+    return factory
+
+
+register(
+    BenchSpec(
+        name="macro-faultfree",
+        kind="macro",
+        title="fault-free run, no trace (the headline number)",
+        description=(
+            f"Evaluate {_FAULTFREE_TREE} (2047 tasks) on {_PROCESSORS} processors "
+            "under rollback with tracing off — the always-on checkpointing "
+            "overhead path the paper argues is cheap enough to leave enabled."
+        ),
+        factory=_machine_factory(_FAULTFREE_TREE, "rollback"),
+    )
+)
+
+register(
+    BenchSpec(
+        name="macro-faultfree-traced",
+        kind="macro",
+        title="fault-free run with full tracing",
+        description=(
+            f"Same run as macro-faultfree with Trace collection on; the gap "
+            "between the two is the cost of observability."
+        ),
+        factory=_machine_factory(_FAULTFREE_TREE, "rollback", collect_trace=True),
+    )
+)
+
+register(
+    BenchSpec(
+        name="macro-rollback-storm",
+        kind="macro",
+        title="three-fault rollback storm",
+        description=(
+            f"Evaluate {_STORM_TREE} on {_PROCESSORS} processors under rollback "
+            "while killing three processors mid-run; exercises checkpoint "
+            "reissue, orphan aborts, and waste accounting."
+        ),
+        factory=_machine_factory(_STORM_TREE, "rollback", fault_fracs=_STORM_FRACS),
+    )
+)
+
+register(
+    BenchSpec(
+        name="macro-splice-storm",
+        kind="macro",
+        title="three-fault splice storm",
+        description=(
+            f"The macro-rollback-storm schedule under splice recovery; adds "
+            "grandparent reroutes, twin creation, and result salvage."
+        ),
+        factory=_machine_factory(_STORM_TREE, "splice", fault_fracs=_STORM_FRACS),
+    )
+)
+
+
+def _sweep_factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
+    from repro.exp import get_scenario, run_scenario
+
+    spec = get_scenario("smoke")
+
+    def thunk() -> Mapping[str, Any]:
+        sweep = run_scenario(spec, workers=1, cache_dir=None)
+        return {
+            "points": len(sweep.points),
+            "all_completed": all(p["result"]["completed"] for p in sweep.points),
+            "key": sweep.key,
+        }
+
+    return thunk
+
+
+register(
+    BenchSpec(
+        name="macro-sweep",
+        kind="macro",
+        title="registry smoke sweep, serial",
+        description=(
+            "Run the `smoke` scenario through repro.exp.run_scenario with one "
+            "worker and no cache: the end-to-end cost of a registry sweep "
+            "(expansion, per-point machine runs, result assembly)."
+        ),
+        factory=_sweep_factory,
+    )
+)
+
+
+# -- micro kernels -------------------------------------------------------------
+
+
+def _event_queue_factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
+    from repro.sim.events import (
+        PRIORITY_CONTROL,
+        PRIORITY_MESSAGE,
+        PRIORITY_RUN,
+        EventQueue,
+    )
+
+    n = 30_000
+    priorities = (PRIORITY_MESSAGE, PRIORITY_CONTROL, PRIORITY_RUN)
+    nop = lambda: None  # noqa: E731
+
+    def thunk() -> Mapping[str, Any]:
+        queue = EventQueue()
+        cancelled = 0
+        for i in range(n):
+            entry = queue.schedule(
+                float((i * 7919) % 1000), nop, label="k", priority=priorities[i % 3]
+            )
+            if i % 10 == 0:
+                queue.cancel(entry)
+                cancelled += 1
+        while queue.step() is not None:
+            pass
+        return {"scheduled": n, "processed": queue.events_processed, "cancelled": cancelled}
+
+    return thunk
+
+
+register(
+    BenchSpec(
+        name="micro-event-queue",
+        kind="micro",
+        title="event queue schedule/cancel/drain",
+        description=(
+            "Schedule 30k events across the three priority classes with 10% "
+            "cancellations, then drain the heap — the inner loop every "
+            "simulated second runs through."
+        ),
+        factory=_event_queue_factory,
+    )
+)
+
+
+def _stamp_population(depth: int, fanout: int) -> List:
+    """All stamps of a balanced call tree, breadth-first."""
+    from repro.core.stamps import LevelStamp
+
+    stamps = [LevelStamp.root()]
+    frontier = [LevelStamp.root()]
+    for _ in range(depth):
+        frontier = [s.child(d) for s in frontier for d in range(fanout)]
+        stamps.extend(frontier)
+    return stamps
+
+
+def _checkpoint_table_factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
+    from repro.core.checkpoint import CheckpointTable
+    from repro.core.packets import ReturnAddress, TaskPacket, WorkSpec
+
+    stamps = _stamp_population(depth=9, fanout=2)[1:]  # skip the root
+    packets = [
+        TaskPacket(
+            stamp=s,
+            work=WorkSpec(kind="tree", tree_node=0),
+            parent=ReturnAddress(0, i),
+            grandparent_node=0,
+        )
+        for i, s in enumerate(stamps)
+    ]
+    n_dests = _PROCESSORS
+
+    def thunk() -> Mapping[str, Any]:
+        table = CheckpointTable()
+        # Record top-down (parents first): children are suppressed by the
+        # topmost rule exactly as in a fault-free run...
+        for i, (stamp, packet) in enumerate(zip(stamps, packets)):
+            table.record(i % n_dests, stamp, packet, task_uid=i)
+        suppressed_pass = table.suppressed
+        # ...then bottom-up (recovery re-placements): deep stamps land
+        # first and are subsumed when their ancestors arrive.
+        table2 = CheckpointTable()
+        for i, (stamp, packet) in enumerate(zip(reversed(stamps), reversed(packets))):
+            table2.record(i % n_dests, stamp, packet, task_uid=i)
+        for stamp in stamps:
+            table2.drop_everywhere(stamp)
+        return {
+            "recorded": table.recorded + table2.recorded,
+            "suppressed_topdown": suppressed_pass,
+            "held_after_drop": table2.held(),
+        }
+
+    return thunk
+
+
+register(
+    BenchSpec(
+        name="micro-checkpoint-table",
+        kind="micro",
+        title="checkpoint table record/suppress/subsume/drop",
+        description=(
+            "Insert a 1022-stamp balanced-tree population into CheckpointTable "
+            "entries top-down (ancestor suppression) and bottom-up (descendant "
+            "subsumption), then drop everything — the §3.2 insertion rule "
+            "under both orderings."
+        ),
+        factory=_checkpoint_table_factory,
+    )
+)
+
+
+def _stamp_ordering_factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
+    from repro.core.stamps import topmost
+
+    stamps = _stamp_population(depth=9, fanout=2)
+    leaves = [s for s in stamps if s.depth == 9]
+
+    def thunk() -> Mapping[str, Any]:
+        ancestors = 0
+        for leaf in leaves:
+            for depth in (0, 3, 6):
+                if leaf.ancestor_at(depth).is_ancestor_of(leaf):
+                    ancestors += 1
+        ordered = sorted(stamps, key=lambda s: s.sort_key())
+        antichain = topmost(leaves)
+        return {
+            "ancestor_hits": ancestors,
+            "sorted": len(ordered),
+            "antichain": len(antichain),
+        }
+
+    return thunk
+
+
+register(
+    BenchSpec(
+        name="micro-stamp-ordering",
+        kind="micro",
+        title="level-stamp ancestry, sorting, topmost antichain",
+        description=(
+            "Ancestry tests over 512 leaf stamps, a total-order sort of the "
+            "full 1023-stamp population, and the §3.2 topmost-antichain "
+            "reduction — the predicates recovery decisions hinge on."
+        ),
+        factory=_stamp_ordering_factory,
+    )
+)
+
+
+def _network_delivery_factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
+    from repro.config import SimConfig
+    from repro.core.stamps import LevelStamp
+    from repro.exp.points import build_workload
+    from repro.sim.machine import Machine
+    from repro.sim.messages import PlacementAck
+
+    n = 10_000
+    wfactory, _ = build_workload("balanced:1:1:1")
+
+    def thunk() -> Mapping[str, Any]:
+        machine = Machine(SimConfig(n_processors=_PROCESSORS, seed=0), wfactory())
+        stamp = LevelStamp.of(0)
+        for i in range(n):
+            machine.network.send(
+                PlacementAck(
+                    src=i % _PROCESSORS,
+                    dst=(i + 1) % _PROCESSORS,
+                    stamp=stamp,
+                    executor=i % _PROCESSORS,
+                    instance=i,
+                    parent_instance=10**9,  # no such instance: pure transport cost
+                )
+            )
+        while machine.queue.step() is not None:
+            pass
+        return {
+            "sent": n,
+            "processed": machine.queue.events_processed,
+            "messages_total": machine.metrics.messages_total,
+        }
+
+    return thunk
+
+
+register(
+    BenchSpec(
+        name="micro-network-delivery",
+        kind="micro",
+        title="network send + deliver + dispatch",
+        description=(
+            "Push 10k placement acks through Network.send on an 8-processor "
+            "machine and drain the queue: per-message latency computation, "
+            "event scheduling, delivery, and node dispatch."
+        ),
+        factory=_network_delivery_factory,
+    )
+)

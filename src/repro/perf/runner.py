@@ -1,0 +1,209 @@
+"""Benchmark execution, statistics, and baseline comparison.
+
+``run_suite`` times each registered benchmark — ``warmup`` untimed
+passes, then ``trials`` timed ones — and reports **median** and **IQR**
+seconds per benchmark.  Median because a shared machine only ever adds
+noise on top of the true cost (the distribution is right-skewed, so the
+minimum is optimistic and the mean chases outliers); IQR as the matching
+robust spread.  The payload serializes through the same canonical writer
+as the sweep cache (:mod:`repro.util.jsonio`), and the committed copy
+lives at ``BENCH_core.json``.
+
+``compare`` judges a fresh run against a committed baseline: a
+benchmark *regresses* when its median exceeds ``threshold ×`` the
+baseline median, and *diverges* when its determinism checks changed —
+timing may drift with hardware, semantics may not.
+"""
+
+from __future__ import annotations
+
+import platform
+import statistics
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.perf.bench import BenchSpec, all_benches, get_bench
+
+SCHEMA = "repro-perf/1"
+
+#: Default regression threshold for ``repro perf compare``.  Generous on
+#: purpose: the committed baseline and the comparison run usually happen
+#: on different machines, so only multiple-fold slowdowns are actionable.
+DEFAULT_THRESHOLD = 2.0
+
+
+def _time_thunk(thunk) -> tuple:
+    """One timed pass: (elapsed seconds, checks dict)."""
+    t0 = time.perf_counter()
+    checks = thunk()
+    elapsed = time.perf_counter() - t0
+    return elapsed, dict(checks)
+
+
+def run_bench(spec: BenchSpec, quick: bool = False) -> Dict[str, Any]:
+    """Run one benchmark; returns its result record (JSON-ready)."""
+    warmup, trials = spec.counts(quick)
+    thunk = spec.factory(quick)
+    for _ in range(warmup):
+        _time_thunk(thunk)
+    times: List[float] = []
+    checks: Optional[Dict[str, Any]] = None
+    for trial in range(trials):
+        elapsed, trial_checks = _time_thunk(thunk)
+        times.append(elapsed)
+        if checks is None:
+            checks = trial_checks
+        elif checks != trial_checks:
+            raise AssertionError(
+                f"benchmark {spec.name} is nondeterministic across trials: "
+                f"{checks} != {trial_checks}"
+            )
+    median = statistics.median(times)
+    if len(times) >= 2:
+        q1, _, q3 = statistics.quantiles(times, n=4, method="inclusive")
+        iqr = q3 - q1
+    else:
+        iqr = 0.0
+    return {
+        "kind": spec.kind,
+        "title": spec.title,
+        "warmup": warmup,
+        "trials": trials,
+        "times_s": [round(t, 6) for t in times],
+        "median_s": round(median, 6),
+        "iqr_s": round(iqr, 6),
+        "checks": checks,
+    }
+
+
+def run_suite(
+    names: Optional[Iterable[str]] = None, quick: bool = False
+) -> Dict[str, Any]:
+    """Run benchmarks (all, or the given names) into one payload."""
+    specs = (
+        [get_bench(n) for n in names] if names else list(all_benches().values())
+    )
+    benchmarks = {spec.name: run_bench(spec, quick=quick) for spec in specs}
+    return {
+        "schema": SCHEMA,
+        "suite": "core",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.machine() or "unknown",
+        "benchmarks": benchmarks,
+    }
+
+
+# -- comparison ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One benchmark's baseline-vs-current comparison."""
+
+    name: str
+    status: str  # "ok" | "faster" | "REGRESSION" | "CHECKS-DIVERGED" | "missing" | "new"
+    base_median: Optional[float] = None
+    cur_median: Optional[float] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.base_median or self.cur_median is None:
+            return None
+        return self.cur_median / self.base_median
+
+    def row(self) -> List[Any]:
+        ratio = self.ratio
+        return [
+            self.name,
+            "-" if self.base_median is None else f"{self.base_median:.6f}",
+            "-" if self.cur_median is None else f"{self.cur_median:.6f}",
+            "-" if ratio is None else f"{ratio:.2f}x",
+            self.status,
+        ]
+
+
+def compare(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Delta]:
+    """Compare two suite payloads; see module docstring for the rules.
+
+    A missing benchmark (present in the baseline, absent now) is a
+    failure — deleting a benchmark must be a deliberate re-baseline, not
+    an accident.  A new benchmark is informational.
+    """
+    base_benches = baseline.get("benchmarks", {})
+    cur_benches = current.get("benchmarks", {})
+    deltas: List[Delta] = []
+    for name in sorted(set(base_benches) | set(cur_benches)):
+        base, cur = base_benches.get(name), cur_benches.get(name)
+        if base is None:
+            deltas.append(Delta(name, "new", None, cur["median_s"]))
+            continue
+        if cur is None:
+            deltas.append(Delta(name, "missing", base["median_s"], None))
+            continue
+        if base.get("checks") != cur.get("checks"):
+            deltas.append(
+                Delta(name, "CHECKS-DIVERGED", base["median_s"], cur["median_s"])
+            )
+            continue
+        if not base["median_s"]:
+            # A zero baseline median yields no ratio; rather than silently
+            # disabling the gate, any measurable current time fails it
+            # (re-baseline with a heavier kernel to restore a real ratio).
+            status = "REGRESSION" if cur["median_s"] else "ok"
+            deltas.append(Delta(name, status, base["median_s"], cur["median_s"]))
+            continue
+        ratio = cur["median_s"] / base["median_s"]
+        if ratio > threshold:
+            status = "REGRESSION"
+        elif ratio < 1.0 / threshold:
+            status = "faster"
+        else:
+            status = "ok"
+        deltas.append(Delta(name, status, base["median_s"], cur["median_s"]))
+    return deltas
+
+
+def failures(deltas: Iterable[Delta]) -> List[Delta]:
+    """The deltas that should fail a gate."""
+    return [d for d in deltas if d.status in ("REGRESSION", "CHECKS-DIVERGED", "missing")]
+
+
+def suite_table(payload: Mapping[str, Any]) -> str:
+    """Render one suite payload as an ASCII table."""
+    from repro.util.tables import format_table
+
+    rows = []
+    for name, rec in payload["benchmarks"].items():
+        rows.append(
+            [
+                name,
+                rec["kind"],
+                f"{rec['median_s']:.6f}",
+                f"{rec['iqr_s']:.6f}",
+                rec["trials"],
+            ]
+        )
+    mode = "quick" if payload.get("quick") else "full"
+    return format_table(
+        ["benchmark", "kind", "median_s", "iqr_s", "trials"],
+        rows,
+        title=f"repro perf ({mode}, python {payload.get('python', '?')})",
+    )
+
+
+def compare_table(deltas: Iterable[Delta]) -> str:
+    """Render a comparison as an ASCII table."""
+    from repro.util.tables import format_table
+
+    return format_table(
+        ["benchmark", "baseline_s", "current_s", "ratio", "status"],
+        [d.row() for d in deltas],
+        title="repro perf compare",
+    )

@@ -41,7 +41,7 @@ from repro.core.packets import WorkSpec
 from repro.core.stamps import Digit
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Demand:
     """A child-task demand: spawn ``work`` under stamp digit ``digit``."""
 
@@ -49,7 +49,7 @@ class Demand:
     work: WorkSpec
 
 
-@dataclass
+@dataclass(slots=True)
 class Advance:
     """Result of running a task until it blocks, yields, or completes."""
 
@@ -63,7 +63,13 @@ class Advance:
 
 
 class TaskBehavior:
-    """Interface: drive the task's computation between suspensions."""
+    """Interface: drive the task's computation between suspensions.
+
+    Subclasses are per-task-instance hot objects; they declare
+    ``__slots__`` (and so must this base, or the slots buy nothing).
+    """
+
+    __slots__ = ()
 
     def advance(self, delivered: Dict[Digit, Any]) -> Advance:
         """Consume newly delivered child results, run until blocked.
@@ -111,6 +117,8 @@ class _EvalNode:
 
 class InterpBehavior(TaskBehavior):
     """Evaluate an expression of the applicative language inside a task."""
+
+    __slots__ = ("program", "root", "_steps", "_demands", "_results")
 
     def __init__(self, program: Program, expr: Expr, env: Env = EMPTY_ENV):
         self.program = program
@@ -302,7 +310,7 @@ class InterpBehavior(TaskBehavior):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TreeTaskSpec:
     """One node of a synthetic workload tree.
 
@@ -357,6 +365,8 @@ class TreeSpec:
 
 class TreeBehavior(TaskBehavior):
     """Execute one synthetic tree node: work, spawn children, combine."""
+
+    __slots__ = ("spec", "node", "_phase", "_remaining_work", "_collected")
 
     def __init__(self, spec: TreeSpec, node_id: int):
         self.spec = spec

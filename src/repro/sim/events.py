@@ -1,18 +1,23 @@
 """Deterministic discrete-event queue.
 
-Events are ``(time, priority, seq, action)`` tuples in a binary heap.
+Events are ``(time, priority, seq)``-ordered entries in a binary heap.
 ``seq`` is a monotone tie-breaker, so events with equal time and priority
 fire in schedule order — this removes heap nondeterminism and makes every
 run exactly reproducible.
 
 Actions are zero-argument callables.  A short ``label`` accompanies each
 event for traces and stall diagnostics.
+
+This queue is the innermost loop of every simulation.  The heap holds
+``(time, priority, seq, entry)`` tuples so sift comparisons run as
+C-level tuple compares (``seq`` is unique, so comparison never reaches
+the entry object), and entries themselves are small ``__slots__``
+handles that exist only for cancellation and diagnostics.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationBudgetError
@@ -25,21 +30,39 @@ PRIORITY_CONTROL = 1
 PRIORITY_RUN = 2
 
 
-@dataclass(order=True)
 class _Entry:
-    time: float
-    priority: int
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    """Handle for one scheduled event (cancellation + diagnostics)."""
+
+    __slots__ = ("time", "priority", "seq", "action", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        action: Callable[[], None],
+        label: str = "",
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<_Entry t={self.time} p={self.priority} #{self.seq} {self.label}{state}>"
+
+
+_HeapItem = Tuple[float, int, int, _Entry]
 
 
 class EventQueue:
     """A deterministic event heap with cancellation support."""
 
     def __init__(self) -> None:
-        self._heap: List[_Entry] = []
+        self._heap: List[_HeapItem] = []
         self._seq = 0
         self.now: float = 0.0
         self.events_processed = 0
@@ -57,9 +80,10 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule in the past: {time} < now {self.now} ({label})"
             )
-        entry = _Entry(time, priority, self._seq, action, label)
-        self._seq += 1
-        heapq.heappush(self._heap, entry)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = _Entry(time, priority, seq, action, label)
+        heapq.heappush(self._heap, (time, priority, seq, entry))
         return entry
 
     def after(
@@ -84,15 +108,24 @@ class EventQueue:
         return not self._heap
 
     def _drop_cancelled_head(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
 
     def step(self) -> Optional[str]:
-        """Pop and run the next event; returns its label, or None if empty."""
-        self._drop_cancelled_head()
-        if not self._heap:
+        """Pop and run the next event; returns its label, or None if empty.
+
+        NOTE: :meth:`run` inlines this pop/cancel/dispatch body for the
+        hot loop — a semantic change here must be mirrored there (the
+        micro-event-queue benchmark and unit tests drain through both).
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][3].cancelled:
+            pop(heap)
+        if not heap:
             return None
-        entry = heapq.heappop(self._heap)
+        entry = pop(heap)[3]
         self.now = entry.time
         self.events_processed += 1
         entry.action()
@@ -109,10 +142,16 @@ class EventQueue:
         Raises :class:`SimulationBudgetError` when budgets are exceeded —
         a drained queue with ``until()`` false is left for the caller to
         diagnose (it distinguishes stalls from budget blowups).
+
+        The loop body is a deliberate inline copy of :meth:`step` (no
+        per-event method call in the innermost loop); keep the two in
+        lockstep.
         """
-        start_count = self.events_processed
+        heap = self._heap
+        pop = heapq.heappop
+        processed = 0
         while not until():
-            if self.events_processed - start_count >= max_events:
+            if processed >= max_events:
                 raise SimulationBudgetError(
                     f"exceeded event budget of {max_events} events at t={self.now}"
                 )
@@ -120,9 +159,16 @@ class EventQueue:
                 raise SimulationBudgetError(
                     f"exceeded time budget of {max_time} (now {self.now})"
                 )
-            if self.step() is None:
+            while heap and heap[0][3].cancelled:
+                pop(heap)
+            if not heap:
                 return
+            entry = pop(heap)[3]
+            self.now = entry.time
+            processed += 1
+            self.events_processed += 1
+            entry.action()
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for item in self._heap if not item[3].cancelled)

@@ -45,15 +45,19 @@ class Scheduler:
 
     # -- helpers --------------------------------------------------------------
 
-    def _alive(self, exclude: Set[int]) -> List[int]:
+    def _alive_nodes(self, exclude: Set[int]) -> List:
+        """Alive, non-excluded processor *objects* — the one liveness rule."""
         nodes = [
-            n.id
+            n
             for n in self.machine.processors()
             if n.alive and n.id not in exclude
         ]
         if not nodes:
             raise SchedulingError("no alive processors available for placement")
         return nodes
+
+    def _alive(self, exclude: Set[int]) -> List[int]:
+        return [n.id for n in self._alive_nodes(exclude)]
 
     def _load(self, node_id: int) -> int:
         """Observed load: queued + executing task count."""
@@ -86,21 +90,35 @@ class GradientScheduler(Scheduler):
     name = "gradient"
 
     def place(self, packet: TaskPacket, origin: int, exclude: Set[int]) -> int:
-        alive = self._alive(exclude)
-        if origin in alive and self._load(origin) == 0:
-            return origin
-        idle = [n for n in alive if self._load(n) == 0]
+        # This runs once per spawn, so load is read inline off the node
+        # objects (no per-candidate id->node lookups).  A node's load is
+        # queued + executing + inbound tasks, exactly Node.load().
+        alive_nodes = self._alive_nodes(exclude)
+        alive = [n.id for n in alive_nodes]
+        origin_alive = origin in alive
+        if origin_alive:
+            o = self.machine.node(origin)
+            if not (o.run_queue or o.current is not None or o.inbound_pending):
+                return origin
+        idle = [
+            n.id
+            for n in alive_nodes
+            if not (n.run_queue or n.current is not None or n.inbound_pending)
+        ]
         if idle:
             # nearest idle processor; ties broken by node id (deterministic)
-            if origin in alive or origin == -1:
+            if origin_alive or origin == -1:
                 src = origin if origin != -1 else idle[0]
             else:
                 src = idle[0]
-            return min(idle, key=lambda n: (self.topology.hops(src, n), n))
+            hops = self.topology.hops
+            return min(idle, key=lambda n: (hops(src, n), n))
         # no idle processor: diffuse toward the least-loaded neighbour
-        if origin in alive:
-            neighbours = [n for n in self.topology.neighbours(origin) if n in alive]
-            candidates = neighbours + [origin]
+        if origin_alive:
+            alive_set = set(alive)
+            candidates = [
+                n for n in self.topology.neighbours(origin) if n in alive_set
+            ] + [origin]
         else:
             candidates = alive
         return min(candidates, key=lambda n: (self._load(n), n))

@@ -42,6 +42,8 @@ from repro.util.rng import RngHub
 class _RootHostBehavior(TaskBehavior):
     """The super-root's task: demand the root task, await its answer."""
 
+    __slots__ = ("root_work", "_demanded")
+
     def __init__(self, root_work: WorkSpec):
         self.root_work = root_work
         self._demanded = False
@@ -124,6 +126,11 @@ class Machine:
         }
         self.super_root = Node(SUPER_ROOT_NODE, self)
         self.nodes[SUPER_ROOT_NODE] = self.super_root
+        # Node membership is fixed for the life of the machine, so the
+        # id-ordered views are built once (the gradient scheduler reads
+        # processors() on every placement).  Callers must not mutate them.
+        self._processors: List[Node] = [self.nodes[i] for i in range(config.n_processors)]
+        self._all_nodes: List[Node] = [self.super_root] + self._processors
 
         self.instance_registry: Dict[int, TaskInstance] = {}
         self.root_host_uid: Optional[int] = None
@@ -143,11 +150,11 @@ class Machine:
         return self.nodes[node_id]
 
     def processors(self) -> List[Node]:
-        """The failable processors (excludes the super-root)."""
-        return [n for i, n in sorted(self.nodes.items()) if i >= 0]
+        """The failable processors, id-ordered (excludes the super-root)."""
+        return self._processors
 
     def all_nodes(self) -> List[Node]:
-        return [n for _, n in sorted(self.nodes.items())]
+        return self._all_nodes
 
     def new_task_uid(self) -> int:
         return self.idgen.next("task")

@@ -23,7 +23,7 @@ from repro.core.packets import ReturnAddress, TaskPacket
 from repro.core.stamps import LevelStamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """Base class: source and destination node ids."""
 
@@ -34,7 +34,7 @@ class Message:
         return f"{type(self).__name__} {self.src}->{self.dst}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskPacketMsg(Message):
     """Carries a task packet toward an executor.
 
@@ -49,7 +49,7 @@ class TaskPacketMsg(Message):
         return f"task {self.packet.describe()} {self.src}->{self.dst}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlacementAck(Message):
     """Executor tells the spawning parent where the child landed."""
 
@@ -63,7 +63,7 @@ class PlacementAck(Message):
         return f"ack [{self.stamp}] placed on {self.executor} {self.src}->{self.dst}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResultMsg(Message):
     """A completed task forwards its answer.
 
@@ -99,7 +99,7 @@ class ResultMsg(Message):
         return f"{kind} [{self.sender_stamp}]={self.value!r} {self.src}->{self.dst}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FailureNotice(Message):
     """Notification that ``dead_node`` has been identified as faulty."""
 

@@ -11,11 +11,17 @@ semantics implement the paper's §1 assumptions:
 - an unreachable node is treated as faulty by the sender.
 
 Sends to the super-root (node -1) never fail.
+
+``send`` is one of the two hottest functions in a run (every spawn, ack,
+and result goes through it), so it computes hop count once, skips the
+jitter stream entirely when the cost model has none, and reuses one
+interned label per message type instead of formatting a fresh string per
+message.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict
 
 from repro.core.packets import SUPER_ROOT_NODE
 from repro.sim.events import PRIORITY_CONTROL, PRIORITY_MESSAGE, EventQueue
@@ -25,6 +31,23 @@ from repro.util.rng import RngHub
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.machine import Machine
+
+_DELIVER_LABELS: Dict[type, str] = {}
+_LOSS_LABELS: Dict[type, str] = {}
+
+
+def _deliver_label(msg_type: type) -> str:
+    label = _DELIVER_LABELS.get(msg_type)
+    if label is None:
+        label = _DELIVER_LABELS[msg_type] = f"deliver:{msg_type.__name__}"
+    return label
+
+
+def _loss_label(msg_type: type) -> str:
+    label = _LOSS_LABELS.get(msg_type)
+    if label is None:
+        label = _LOSS_LABELS[msg_type] = f"delivery-failed:{msg_type.__name__}"
+    return label
 
 
 class Network:
@@ -36,15 +59,24 @@ class Network:
         self.rng = rng
         self.cost = cost
         self.machine: "Machine" = None  # bound by Machine
+        self.metrics = None  # bound by attach()
+        self._hop_latency = cost.hop_latency
+        self._jitter = cost.latency_jitter
 
     def attach(self, machine: "Machine") -> None:
         self.machine = machine
+        self.metrics = machine.metrics
 
     def latency(self, src: int, dst: int) -> float:
-        hops = self.topology.hops(src, dst)
-        base = max(1, hops) * self.cost.hop_latency
-        if self.cost.latency_jitter > 0:
-            base += self.rng.uniform("latency", 0.0, self.cost.latency_jitter)
+        return self._delay(self.topology.hops(src, dst))
+
+    def _delay(self, hops: int) -> float:
+        """The one latency formula — shared by send() and the detector
+        path so the two can never drift apart (both draw jitter from the
+        same seeded stream)."""
+        base = (hops if hops > 1 else 1) * self._hop_latency
+        if self._jitter > 0:
+            base += self.rng.uniform("latency", 0.0, self._jitter)
         return base
 
     def send(self, msg: Message) -> None:
@@ -54,22 +86,24 @@ class Network:
         machine's node code guarantees this, and we assert it.
         """
         machine = self.machine
-        sender = machine.node(msg.src)
-        assert sender.alive, f"dead node {msg.src} attempted to send {msg.describe()}"
+        assert machine.nodes[
+            msg.src
+        ].alive, f"dead node {msg.src} attempted to send {msg.describe()}"
 
+        msg_type = type(msg)
         hops = self.topology.hops(msg.src, msg.dst)
-        machine.metrics.record_message(type(msg).__name__, hops)
-        delay = self.latency(msg.src, msg.dst)
+        self.metrics.record_message(msg_type.__name__, hops)
+        delay = self._delay(hops)
+        dst = machine.nodes[msg.dst]
 
         def deliver() -> None:
-            dst = machine.node(msg.dst)
             if dst.alive:
                 dst.on_message(msg)
             else:
                 self._notify_loss(msg)
 
         self.queue.after(
-            delay, deliver, label=f"deliver:{type(msg).__name__}", priority=PRIORITY_MESSAGE
+            delay, deliver, label=_deliver_label(msg_type), priority=PRIORITY_MESSAGE
         )
 
     def _notify_loss(self, msg: Message) -> None:
@@ -86,6 +120,6 @@ class Network:
         self.queue.after(
             self.cost.detection_timeout,
             notify,
-            label=f"delivery-failed:{type(msg).__name__}",
+            label=_loss_label(type(msg)),
             priority=PRIORITY_CONTROL,
         )

@@ -22,6 +22,14 @@ Message handling is charged zero processor time: Rediflow nodes paired the
 reduction engine with an autonomous switching unit, so protocol
 bookkeeping overlaps computation.  Spawn/checkpoint *are* charged, to the
 spawning task's slice.
+
+Hot-path notes (see ``docs/PERFORMANCE.md``): the machine's queue,
+trace, metrics, policy, and cost model are bound as plain attributes at
+construction (they never change over a run); every trace emit is guarded
+by ``trace.enabled`` so the no-trace fast path skips the
+``str(stamp)``/``repr(value)`` rendering entirely; and run-queue
+membership is mirrored by ``TaskInstance.queued`` instead of deque
+scans.
 """
 
 from __future__ import annotations
@@ -47,6 +55,12 @@ from repro.sim.task import SpawnRecord, SpawnState, TaskInstance, TaskStatus
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.machine import Machine
 
+_COMPLETED = TaskStatus.COMPLETED
+_ABORTED = TaskStatus.ABORTED
+_READY = TaskStatus.READY
+_RUNNING = TaskStatus.RUNNING
+_SUSPENDED = TaskStatus.SUSPENDED
+
 
 class Node:
     """One processor of the machine (or the super-root when ``id == -1``)."""
@@ -55,6 +69,13 @@ class Node:
         self.id = node_id
         self.machine = machine
         self.alive = True
+        #: Plain-attribute bindings of per-run singletons (hot path).
+        self.queue = machine.queue
+        self.trace = machine.trace
+        self.metrics = machine.metrics
+        self.policy = machine.policy
+        self.cost = machine.config.cost
+        self.is_super_root = node_id == SUPER_ROOT_NODE
         #: All local instances by uid (kept after completion for accounting).
         self.instances: Dict[int, TaskInstance] = {}
         self.run_queue: deque[int] = deque()
@@ -71,32 +92,10 @@ class Node:
         #: Processors this node knows to be dead.
         self.known_dead: Set[int] = set()
         self.ft_state = None  # policy-specific state, set by the machine
+        self._run_label = f"run:node{node_id}"
+        self._slice_label = f"slice-end:node{node_id}"
 
     # -- conveniences -----------------------------------------------------------
-
-    @property
-    def queue(self):
-        return self.machine.queue
-
-    @property
-    def trace(self):
-        return self.machine.trace
-
-    @property
-    def metrics(self):
-        return self.machine.metrics
-
-    @property
-    def policy(self):
-        return self.machine.policy
-
-    @property
-    def cost(self):
-        return self.machine.config.cost
-
-    @property
-    def is_super_root(self) -> bool:
-        return self.id == SUPER_ROOT_NODE
 
     def load(self) -> int:
         """Queued, executing, and inbound task count (gradient pressure)."""
@@ -110,7 +109,7 @@ class Node:
         return [
             t
             for t in self.instances.values()
-            if t.status in (TaskStatus.READY, TaskStatus.RUNNING, TaskStatus.SUSPENDED)
+            if t.status is _READY or t.status is _RUNNING or t.status is _SUSPENDED
         ]
 
     # -- lifecycle ---------------------------------------------------------------
@@ -119,7 +118,8 @@ class Node:
         """Fail-silent crash: every local task and buffer is destroyed."""
         self.alive = False
         for task in self.live_tasks():
-            task.status = TaskStatus.ABORTED
+            task.status = _ABORTED
+            task.queued = False
         self.run_queue.clear()
         self.current = None
 
@@ -141,13 +141,14 @@ class Node:
     def on_delivery_failed(self, msg: Message, dead_node: int) -> None:
         """The network reports a message of ours was undeliverable."""
         self.metrics.delivery_failures += 1
-        self.trace.emit(
-            self.queue.now,
-            self.id,
-            "delivery_failed",
-            msg_type=type(msg).__name__,
-            dead=dead_node,
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.queue.now,
+                self.id,
+                "delivery_failed",
+                msg_type=type(msg).__name__,
+                dead=dead_node,
+            )
         # An unreachable node is considered faulty (§1) — this doubles as a
         # detection channel, typically faster than the detector service.
         self.on_failure_notice(dead_node)
@@ -166,7 +167,8 @@ class Node:
         self.metrics.failures_detected += 1
         if self.metrics.first_detection_time is None:
             self.metrics.first_detection_time = self.queue.now
-        self.trace.emit(self.queue.now, self.id, "failure_detected", dead=dead_node)
+        if self.trace.enabled:
+            self.trace.emit(self.queue.now, self.id, "failure_detected", dead=dead_node)
         self.policy.on_failure_detected(self, dead_node)
 
     # -- task packets ----------------------------------------------------------------
@@ -188,14 +190,15 @@ class Node:
         self.instances[uid] = task
         self.machine.register_instance(task)
         self.metrics.tasks_accepted += 1
-        self.trace.emit(
-            self.queue.now,
-            self.id,
-            "task_accepted",
-            stamp=str(packet.stamp),
-            uid=uid,
-            work=packet.work.describe(),
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.queue.now,
+                self.id,
+                "task_accepted",
+                stamp=str(packet.stamp),
+                uid=uid,
+                work=packet.work.describe(),
+            )
         self._send_ack(packet, uid)
         self._make_ready(task)
         return task
@@ -216,50 +219,60 @@ class Node:
             self.machine.network.send(ack)
 
     def _make_ready(self, task: TaskInstance) -> None:
-        if task.status in (TaskStatus.COMPLETED, TaskStatus.ABORTED):
+        status = task.status
+        if status is _COMPLETED or status is _ABORTED:
             return
-        if task.status in (TaskStatus.READY, TaskStatus.RUNNING) and task.uid in self.run_queue:
+        if task.queued or task.uid == self.current:
             return
-        if task.uid == self.current:
-            return
-        task.status = TaskStatus.READY
-        if task.uid not in self.run_queue:
-            self.run_queue.append(task.uid)
+        task.status = _READY
+        task.queued = True
+        self.run_queue.append(task.uid)
         self._schedule_run()
 
     def _schedule_run(self) -> None:
         if not self.alive or self.current is not None or not self.run_queue:
             return
-        at = max(self.queue.now, self.busy_until)
-        self.queue.schedule(
-            at, self._run_next, label=f"run:node{self.id}", priority=PRIORITY_RUN
-        )
+        at = self.queue.now
+        if self.busy_until > at:
+            at = self.busy_until
+        self.queue.schedule(at, self._run_next, label=self._run_label, priority=PRIORITY_RUN)
 
     # -- execution ---------------------------------------------------------------------
 
     def _run_next(self) -> None:
         if not self.alive or self.current is not None:
             return
-        while self.run_queue:
-            uid = self.run_queue.popleft()
-            task = self.instances.get(uid)
-            if task is not None and task.status == TaskStatus.READY:
-                break
+        run_queue = self.run_queue
+        instances = self.instances
+        while run_queue:
+            uid = run_queue.popleft()
+            task = instances.get(uid)
+            if task is not None:
+                task.queued = False
+                if task.status is _READY:
+                    break
         else:
             return
         self.current = task.uid
-        task.status = TaskStatus.RUNNING
-        self.trace.emit(self.queue.now, self.id, "task_started", stamp=str(task.stamp), uid=task.uid)
+        task.status = _RUNNING
+        trace = self.trace
+        if trace.enabled:
+            trace.emit(
+                self.queue.now, self.id, "task_started", stamp=str(task.stamp), uid=task.uid
+            )
 
         slice_steps = 0
         new_records: List[SpawnRecord] = []
+        metrics = self.metrics
         while True:
             delivered = task.pending_deliveries
-            task.pending_deliveries = {}
+            if delivered:
+                task.pending_deliveries = {}
             advance = task.behavior.advance(delivered)
-            slice_steps += advance.steps
-            task.steps_executed += advance.steps
-            self.metrics.steps_total += advance.steps
+            steps = advance.steps
+            slice_steps += steps
+            task.steps_executed += steps
+            metrics.steps_total += steps
             satisfied_locally = False
             for demand in advance.demands:
                 if demand.digit in task.inherited_results:
@@ -272,14 +285,15 @@ class Node:
                     record.fulfill(value)
                     record.fulfilled_by = sender_uid
                     task.pending_deliveries[demand.digit] = value
-                    self.metrics.results_salvaged += 1
-                    self.trace.emit(
-                        self.queue.now,
-                        self.id,
-                        "result_salvaged",
-                        stamp=str(record.child_stamp),
-                        uid=task.uid,
-                    )
+                    metrics.results_salvaged += 1
+                    if trace.enabled:
+                        trace.emit(
+                            self.queue.now,
+                            self.id,
+                            "result_salvaged",
+                            stamp=str(record.child_stamp),
+                            uid=task.uid,
+                        )
                     satisfied_locally = True
                 else:
                     record = self._new_record(task, demand)
@@ -316,14 +330,16 @@ class Node:
         new_records: List[SpawnRecord],
         final: Optional[Advance],
     ) -> None:
-        duration = slice_steps * self.cost.reduction_step
-        duration += len(new_records) * self.cost.spawn_overhead
+        cost = self.cost
+        duration = slice_steps * cost.reduction_step
+        if new_records:
+            duration += len(new_records) * cost.spawn_overhead
         self.metrics.add_busy(self.id, duration)
         done_at = self.queue.now + duration
         self.busy_until = done_at
 
         def complete_slice() -> None:
-            if not self.alive or task.status != TaskStatus.RUNNING:
+            if not self.alive or task.status is not _RUNNING:
                 # the node died (or the task was aborted) mid-slice
                 if self.current == task.uid:
                     self.current = None
@@ -338,31 +354,34 @@ class Node:
                 yielded = final is not None and final.yielded
                 if yielded or task.pending_deliveries:
                     # time-sliced tasks rejoin the back of the queue
-                    task.status = TaskStatus.READY
+                    task.status = _READY
+                    task.queued = True
                     self.run_queue.append(task.uid)
                 else:
-                    task.status = TaskStatus.SUSPENDED
-                    self.trace.emit(
-                        self.queue.now, self.id, "task_suspended",
-                        stamp=str(task.stamp), uid=task.uid,
-                    )
+                    task.status = _SUSPENDED
+                    if self.trace.enabled:
+                        self.trace.emit(
+                            self.queue.now, self.id, "task_suspended",
+                            stamp=str(task.stamp), uid=task.uid,
+                        )
             self.current = None
             self._schedule_run()
 
-        self.queue.schedule(done_at, complete_slice, label=f"slice-end:node{self.id}")
+        self.queue.schedule(done_at, complete_slice, label=self._slice_label)
 
     # -- spawning -----------------------------------------------------------------------
 
     def _dispatch_spawn(self, task: TaskInstance, record: SpawnRecord) -> None:
         self.metrics.tasks_spawned += 1
-        self.trace.emit(
-            self.queue.now,
-            self.id,
-            "spawn",
-            stamp=str(record.child_stamp),
-            parent_uid=task.uid,
-            work=record.packet.work.describe(),
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.queue.now,
+                self.id,
+                "spawn",
+                stamp=str(record.child_stamp),
+                parent_uid=task.uid,
+                work=record.packet.work.describe(),
+            )
         # State and timer must be set *before* routing: a local placement
         # acks synchronously, moving the record straight to PLACED.
         record.state = SpawnState.IN_TRANSIT
@@ -378,7 +397,7 @@ class Node:
         if dest == self.id:
             self._handle_task_packet(msg)
         else:
-            self.machine.node(dest).inbound_pending += 1
+            self.machine.nodes[dest].inbound_pending += 1
             self.machine.network.send(msg)
 
     def _arm_ack_timer(self, task: TaskInstance, record: SpawnRecord) -> None:
@@ -389,16 +408,16 @@ class Node:
 
         def on_timeout() -> None:
             record.ack_timer = None
-            if not self.alive or record.state != SpawnState.IN_TRANSIT:
+            if not self.alive or record.state is not SpawnState.IN_TRANSIT:
                 return
-            if task.status in (TaskStatus.COMPLETED, TaskStatus.ABORTED):
+            if task.status is _COMPLETED or task.status is _ABORTED:
                 return
             # No acknowledgement inside the window: in this network that
             # means the carrier or executor died.  Reissue (state-b rule).
             self.reissue_record(task, record, reason="ack-timeout")
 
         record.ack_timer = self.queue.after(
-            self.cost.ack_timeout, on_timeout, label=f"ack-timeout:{record.child_stamp}"
+            self.cost.ack_timeout, on_timeout, label="ack-timeout"
         )
 
     def replace_packet(self, packet: TaskPacket) -> None:
@@ -423,14 +442,15 @@ class Node:
             return
         self.metrics.tasks_reissued += 1
         self.metrics.add_busy(self.id, self.cost.reissue_overhead)
-        self.trace.emit(
-            self.queue.now,
-            self.id,
-            "recovery_reissue",
-            stamp=str(record.child_stamp),
-            reason=reason,
-            uid=task.uid,
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.queue.now,
+                self.id,
+                "recovery_reissue",
+                stamp=str(record.child_stamp),
+                reason=reason,
+                uid=task.uid,
+            )
         record.state = SpawnState.IN_TRANSIT
         record.executor = None
         record.executor_instance = None
@@ -446,15 +466,11 @@ class Node:
 
     def _handle_ack(self, ack: PlacementAck) -> None:
         holder = self.instances.get(ack.parent_instance)
-        if holder is None or holder.status in (TaskStatus.COMPLETED, TaskStatus.ABORTED):
+        if holder is None or holder.status is _COMPLETED or holder.status is _ABORTED:
             return
         record = holder.record_for_child(ack.stamp)
         if record is None:
             return
-        if record.state == SpawnState.PLACED and record.executor != ack.executor:
-            # A stale ack from a superseded activation; the latest reissue
-            # wins (results match by stamp either way).
-            pass
         if record.has_result:
             return
         record.state = SpawnState.PLACED
@@ -463,29 +479,31 @@ class Node:
         if record.ack_timer is not None:
             self.queue.cancel(record.ack_timer)
             record.ack_timer = None
-        self.trace.emit(
-            self.queue.now,
-            self.id,
-            "ack_received",
-            stamp=str(ack.stamp),
-            executor=ack.executor,
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.queue.now,
+                self.id,
+                "ack_received",
+                stamp=str(ack.stamp),
+                executor=ack.executor,
+            )
         self.policy.on_placement_ack(self, holder, record, ack)
 
     # -- results ------------------------------------------------------------------------------
 
     def _complete_task(self, task: TaskInstance, value: Any) -> None:
-        task.status = TaskStatus.COMPLETED
+        task.status = _COMPLETED
         task.result = value
         self.metrics.tasks_completed += 1
-        self.trace.emit(
-            self.queue.now,
-            self.id,
-            "task_completed",
-            stamp=str(task.stamp),
-            uid=task.uid,
-            value=repr(value),
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.queue.now,
+                self.id,
+                "task_completed",
+                stamp=str(task.stamp),
+                uid=task.uid,
+                value=repr(value),
+            )
         self.policy.on_task_completed(self, task)
         if self.machine.is_root_host(task):
             self.machine.finish(task.result)
@@ -504,9 +522,10 @@ class Node:
             addressee=target,
             sender_instance=task.uid,
         )
-        self.trace.emit(
-            self.queue.now, self.id, "result_sent", stamp=str(task.stamp), to=str(target)
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.queue.now, self.id, "result_sent", stamp=str(task.stamp), to=str(target)
+            )
         if target.node == self.id:
             self._handle_result(msg)
         elif target.node in self.known_dead:
@@ -519,8 +538,8 @@ class Node:
         if self.policy.on_result_received(self, msg):
             return
         task = self.instances.get(msg.addressee.instance)
-        if task is not None and task.status not in (TaskStatus.ABORTED,):
-            if task.status == TaskStatus.COMPLETED:
+        if task is not None and task.status is not _ABORTED:
+            if task.status is _COMPLETED:
                 # Case 8: "The processor which contained P' may no longer
                 # recognize the arrived answer.  The result is discarded."
                 self._ignore_result(msg, reason="addressee-completed")
@@ -533,14 +552,15 @@ class Node:
                 # Salvaged result arriving before the demand: buffer it.
                 digit = msg.sender_stamp.last_digit
                 task.inherited_results[digit] = (msg.value, msg.sender_instance)
-                self.trace.emit(
-                    self.queue.now,
-                    self.id,
-                    "result_received",
-                    stamp=str(msg.sender_stamp),
-                    uid=task.uid,
-                    buffered=True,
-                )
+                if self.trace.enabled:
+                    self.trace.emit(
+                        self.queue.now,
+                        self.id,
+                        "result_received",
+                        stamp=str(msg.sender_stamp),
+                        uid=task.uid,
+                        buffered=True,
+                    )
                 return
         self._ignore_result(msg, reason="no-addressee")
 
@@ -563,13 +583,14 @@ class Node:
                     record.child_stamp, record.result, msg.value
                 )
             self.metrics.results_duplicate += 1
-            self.trace.emit(
-                self.queue.now,
-                self.id,
-                "result_duplicate",
-                stamp=str(msg.sender_stamp),
-                uid=task.uid,
-            )
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.queue.now,
+                    self.id,
+                    "result_duplicate",
+                    stamp=str(msg.sender_stamp),
+                    uid=task.uid,
+                )
             return
         record.fulfill(msg.value)
         record.fulfilled_by = msg.sender_instance
@@ -577,20 +598,23 @@ class Node:
             self.queue.cancel(record.ack_timer)
             record.ack_timer = None
         self.metrics.results_delivered += 1
+        trace = self.trace
         if msg.relayed:
             self.metrics.results_salvaged += 1
-            self.trace.emit(
-                self.queue.now, self.id, "result_salvaged",
-                stamp=str(msg.sender_stamp), uid=task.uid,
+            if trace.enabled:
+                trace.emit(
+                    self.queue.now, self.id, "result_salvaged",
+                    stamp=str(msg.sender_stamp), uid=task.uid,
+                )
+        if trace.enabled:
+            trace.emit(
+                self.queue.now,
+                self.id,
+                "result_received",
+                stamp=str(msg.sender_stamp),
+                uid=task.uid,
+                value=repr(msg.value),
             )
-        self.trace.emit(
-            self.queue.now,
-            self.id,
-            "result_received",
-            stamp=str(msg.sender_stamp),
-            uid=task.uid,
-            value=repr(msg.value),
-        )
         self.policy.on_child_result(self, task, record, msg.value)
         self.spawn_index.pop(record.child_stamp, None)
         task.pending_deliveries[record.digit] = msg.value
@@ -598,13 +622,14 @@ class Node:
 
     def _ignore_result(self, msg: ResultMsg, reason: str) -> None:
         self.metrics.results_ignored += 1
-        self.trace.emit(
-            self.queue.now,
-            self.id,
-            "result_ignored",
-            stamp=str(msg.sender_stamp),
-            reason=reason,
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.queue.now,
+                self.id,
+                "result_ignored",
+                stamp=str(msg.sender_stamp),
+                reason=reason,
+            )
 
     # -- aborts -------------------------------------------------------------------------------
 
@@ -613,16 +638,17 @@ class Node:
         task = self._find_local_completed(msg.sender_stamp, msg.replica)
         if task is None:
             return
-        task.status = TaskStatus.ABORTED
+        task.status = _ABORTED
         self.metrics.tasks_aborted += 1
-        self.trace.emit(
-            self.queue.now,
-            self.id,
-            "task_aborted",
-            stamp=str(task.stamp),
-            uid=task.uid,
-            reason=reason,
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.queue.now,
+                self.id,
+                "task_aborted",
+                stamp=str(task.stamp),
+                uid=task.uid,
+                reason=reason,
+            )
 
     def _find_local_completed(
         self, stamp: LevelStamp, replica: int
@@ -631,33 +657,37 @@ class Node:
             if (
                 task.stamp == stamp
                 and task.packet.replica == replica
-                and task.status == TaskStatus.COMPLETED
+                and task.status is _COMPLETED
             ):
                 return task
         return None
 
     def abort_task(self, task: TaskInstance, reason: str) -> None:
         """Abort a live local task (cascading waste is accounted at run end)."""
-        if task.status in (TaskStatus.COMPLETED, TaskStatus.ABORTED):
+        if task.status is _COMPLETED or task.status is _ABORTED:
             return
-        was_queued = task.status == TaskStatus.READY
-        task.status = TaskStatus.ABORTED
-        if was_queued and task.uid in self.run_queue:
-            self.run_queue.remove(task.uid)
+        task.status = _ABORTED
+        if task.queued:
+            task.queued = False
+            try:
+                self.run_queue.remove(task.uid)
+            except ValueError:  # pragma: no cover - flag/queue desync guard
+                pass
         for record in task.spawn_records.values():
             if record.ack_timer is not None:
                 self.queue.cancel(record.ack_timer)
                 record.ack_timer = None
             self.spawn_index.pop(record.child_stamp, None)
         self.metrics.tasks_aborted += 1
-        self.trace.emit(
-            self.queue.now,
-            self.id,
-            "task_aborted",
-            stamp=str(task.stamp),
-            uid=task.uid,
-            reason=reason,
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.queue.now,
+                self.id,
+                "task_aborted",
+                stamp=str(task.stamp),
+                uid=task.uid,
+                reason=reason,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -44,7 +44,7 @@ class SpawnState(enum.Enum):
     FULFILLED = "g"
 
 
-@dataclass
+@dataclass(slots=True)
 class SpawnRecord:
     """Parent-side state for one spawned child."""
 
@@ -74,7 +74,26 @@ class SpawnRecord:
 
 
 class TaskInstance:
-    """One activation of a task packet on a node."""
+    """One activation of a task packet on a node.
+
+    Thousands of instances are live in a large run, so the class is
+    ``__slots__``-ed; new per-instance state must be declared here.
+    """
+
+    __slots__ = (
+        "uid",
+        "packet",
+        "node",
+        "behavior",
+        "status",
+        "spawn_records",
+        "inherited_results",
+        "pending_deliveries",
+        "steps_executed",
+        "result",
+        "is_twin",
+        "queued",
+    )
 
     def __init__(self, uid: int, packet: TaskPacket, node: int, behavior):
         self.uid = uid
@@ -92,6 +111,9 @@ class TaskInstance:
         self.steps_executed = 0
         self.result: Any = None
         self.is_twin = False
+        #: True while this task's uid sits in its node's run queue — the
+        #: O(1) mirror of queue membership the node maintains.
+        self.queued = False
 
     @property
     def stamp(self) -> LevelStamp:

@@ -54,9 +54,21 @@ KINDS = (
     "vote_decided",
 )
 
+_KINDS_SET = frozenset(KINDS)
+
 
 class Trace:
-    """Append-only trace with query helpers."""
+    """Append-only trace with query helpers.
+
+    **Hot-path contract:** every emit site in the simulator guards with
+    ``if trace.enabled:`` *before* building the detail kwargs, so a
+    disabled trace costs nothing — no ``str(stamp)``/``repr(value)``
+    rendering, no call.  That guard is the machine's no-trace fast path
+    (`collect_trace=False`); ``emit`` still self-checks ``enabled`` for
+    callers outside the hot path.
+    """
+
+    __slots__ = ("enabled", "records")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
@@ -65,7 +77,7 @@ class Trace:
     def emit(self, time: float, node: int, kind: str, **detail: Any) -> None:
         if not self.enabled:
             return
-        assert kind in KINDS, f"unknown trace kind {kind!r}"
+        assert kind in _KINDS_SET, f"unknown trace kind {kind!r}"
         self.records.append(TraceRecord(time, node, kind, detail))
 
     # -- queries -------------------------------------------------------------

@@ -1,0 +1,61 @@
+"""Canonical JSON rendering and atomic file writes.
+
+One writer serves every artifact the repo commits or caches —
+``repro exp run --json`` payloads, the on-disk sweep result cache, and
+``repro perf`` benchmark reports (``BENCH_core.json``).  Keeping the
+encoding in one place is what makes "byte-identical for identical
+results" a checkable property rather than a convention.
+
+>>> canonical_dumps({"b": 1, "a": [1.5, "x"]})
+'{\\n  "a": [\\n    1.5,\\n    "x"\\n  ],\\n  "b": 1\\n}\\n'
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def canonical_dumps(payload: Any) -> str:
+    """Render ``payload`` as canonical, human-diffable JSON.
+
+    Sorted keys, two-space indent, and a trailing newline: identical
+    payloads produce identical bytes, and the files diff cleanly under
+    version control.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (write-temp-then-rename).
+
+    Readers never observe a half-written file; a crash mid-write leaves
+    the previous version intact.
+    """
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(path) or ".", prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def write_canonical_json(path: str, payload: Any) -> str:
+    """Canonicalize ``payload`` and write it atomically; returns the text."""
+    text = canonical_dumps(payload)
+    write_atomic(path, text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import doctest
+
+    doctest.testmod()

@@ -1,0 +1,235 @@
+"""Tests for the perf subsystem: registry, runner, compare, and CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import all_benches, compare, failures, get_bench, run_bench, run_suite
+from repro.perf.bench import BenchSpec
+from repro.perf.runner import DEFAULT_THRESHOLD, compare_table, suite_table
+from repro.util.jsonio import canonical_dumps, write_canonical_json
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def spec_returning(value, name="micro-toy", trials=3):
+    return BenchSpec(
+        name=name,
+        kind="micro",
+        title="toy",
+        description="toy bench",
+        factory=lambda quick: (lambda: dict(value)),
+        trials=trials,
+        warmup=1,
+        quick_trials=2,
+        quick_warmup=0,
+    )
+
+
+def fake_payload(**medians):
+    return {
+        "schema": "repro-perf/1",
+        "benchmarks": {
+            name: {"median_s": median, "checks": {"x": 1}}
+            for name, median in medians.items()
+        },
+    }
+
+
+class TestRegistry:
+    def test_builtin_benchmarks_registered(self):
+        names = set(all_benches())
+        assert {
+            "macro-faultfree",
+            "macro-faultfree-traced",
+            "macro-rollback-storm",
+            "macro-splice-storm",
+            "macro-sweep",
+            "micro-event-queue",
+            "micro-checkpoint-table",
+            "micro-stamp-ordering",
+            "micro-network-delivery",
+        } <= names
+
+    def test_names_carry_kind_prefix(self):
+        for name, spec in all_benches().items():
+            assert name.startswith(f"{spec.kind}-")
+
+    def test_macros_listed_before_micros(self):
+        kinds = [spec.kind for spec in all_benches().values()]
+        assert kinds == sorted(kinds, key=("macro", "micro").index)
+
+    def test_unknown_bench_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_bench("macro-nonexistent")
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError, match="kind prefix"):
+            spec_returning({"x": 1}, name="toy-wrong")
+
+    def test_quick_mode_reduces_trials_not_workload(self):
+        spec = get_bench("macro-faultfree")
+        warmup_full, trials_full = spec.counts(quick=False)
+        warmup_quick, trials_quick = spec.counts(quick=True)
+        assert trials_quick < trials_full and warmup_quick < warmup_full
+
+
+class TestRunBench:
+    def test_reports_median_iqr_and_checks(self):
+        rec = run_bench(spec_returning({"answer": 42}))
+        assert rec["trials"] == 3 and len(rec["times_s"]) == 3
+        assert rec["median_s"] >= 0 and rec["iqr_s"] >= 0
+        assert rec["checks"] == {"answer": 42}
+
+    def test_nondeterministic_checks_fail_loudly(self):
+        counter = iter(range(100))
+        spec = BenchSpec(
+            name="micro-drift",
+            kind="micro",
+            title="drift",
+            description="returns a different value each trial",
+            factory=lambda quick: (lambda: {"n": next(counter)}),
+            trials=2,
+            warmup=0,
+        )
+        with pytest.raises(AssertionError, match="nondeterministic"):
+            run_bench(spec)
+
+    def test_run_suite_payload_shape(self):
+        payload = run_suite(names=["micro-stamp-ordering"], quick=True)
+        assert payload["schema"] == "repro-perf/1"
+        assert payload["quick"] is True
+        rec = payload["benchmarks"]["micro-stamp-ordering"]
+        assert rec["kind"] == "micro" and rec["checks"]["antichain"] == 512
+        assert "micro-stamp-ordering" in suite_table(payload)
+
+
+class TestCompare:
+    def test_ok_faster_and_regression(self):
+        base = fake_payload(**{"macro-a": 1.0, "macro-b": 1.0, "macro-c": 1.0})
+        cur = fake_payload(**{"macro-a": 1.1, "macro-b": 0.2, "macro-c": 9.0})
+        by_name = {d.name: d for d in compare(base, cur, threshold=2.0)}
+        assert by_name["macro-a"].status == "ok"
+        assert by_name["macro-b"].status == "faster"
+        assert by_name["macro-c"].status == "REGRESSION"
+        assert [d.name for d in failures(by_name.values())] == ["macro-c"]
+
+    def test_missing_bench_fails_new_bench_informs(self):
+        base = fake_payload(**{"macro-old": 1.0})
+        cur = fake_payload(**{"macro-new": 1.0})
+        by_name = {d.name: d for d in compare(base, cur)}
+        assert by_name["macro-old"].status == "missing"
+        assert by_name["macro-new"].status == "new"
+        assert {d.name for d in failures(by_name.values())} == {"macro-old"}
+
+    def test_diverged_checks_fail_regardless_of_speed(self):
+        base = fake_payload(**{"macro-a": 1.0})
+        cur = fake_payload(**{"macro-a": 1.0})
+        cur["benchmarks"]["macro-a"]["checks"] = {"x": 2}
+        deltas = compare(base, cur)
+        assert deltas[0].status == "CHECKS-DIVERGED"
+        assert failures(deltas) == deltas
+
+    def test_zero_baseline_median_still_gates(self):
+        base = fake_payload(**{"micro-fast": 0.0, "micro-both-zero": 0.0})
+        cur = fake_payload(**{"micro-fast": 0.5, "micro-both-zero": 0.0})
+        by_name = {d.name: d for d in compare(base, cur)}
+        assert by_name["micro-fast"].status == "REGRESSION"
+        assert by_name["micro-both-zero"].status == "ok"
+
+    def test_tables_render(self):
+        deltas = compare(fake_payload(**{"macro-a": 1.0}), fake_payload(**{"macro-a": 1.0}))
+        assert "macro-a" in compare_table(deltas)
+
+
+class TestPerfCli:
+    def test_perf_list(self):
+        code, text = run_cli("perf", "list")
+        assert code == 0
+        assert "macro-faultfree" in text and "micro-event-queue" in text
+
+    def test_perf_run_writes_canonical_json(self, tmp_path):
+        out_path = tmp_path / "bench.json"
+        code, text = run_cli(
+            "perf", "run", "--quick", "--only", "micro-stamp-ordering",
+            "--out", str(out_path),
+        )
+        assert code == 0 and f"wrote {out_path}" in text
+        payload = json.loads(out_path.read_text())
+        assert out_path.read_text() == canonical_dumps(payload)
+        assert "micro-stamp-ordering" in payload["benchmarks"]
+
+    def test_perf_run_unknown_bench(self):
+        code, _ = run_cli("perf", "run", "--only", "micro-nope", "--no-write")
+        assert code == 2
+
+    def test_quick_mode_never_writes_the_baseline_by_default(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli("perf", "run", "--quick", "--only", "micro-stamp-ordering")
+        assert code == 0
+        assert "quick mode: no file written" in text
+        assert not (tmp_path / "BENCH_core.json").exists()
+
+    def test_partial_suite_never_writes_the_baseline_by_default(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli("perf", "run", "--only", "micro-stamp-ordering")
+        assert code == 0
+        assert "partial suite: no file written" in text
+        assert not (tmp_path / "BENCH_core.json").exists()
+
+    def test_perf_compare_gates(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        write_canonical_json(str(base), fake_payload(**{"macro-a": 1.0}))
+        write_canonical_json(str(cur), fake_payload(**{"macro-a": 1.1}))
+        code, text = run_cli("perf", "compare", str(base), str(cur))
+        assert code == 0 and "perf gate ok" in text
+        write_canonical_json(str(cur), fake_payload(**{"macro-a": 99.0}))
+        code, _ = run_cli("perf", "compare", str(base), str(cur))
+        assert code == 1
+
+    def test_perf_compare_threshold_flag(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        write_canonical_json(str(base), fake_payload(**{"macro-a": 1.0}))
+        write_canonical_json(str(cur), fake_payload(**{"macro-a": 1.5}))
+        assert run_cli("perf", "compare", str(base), str(cur), "--threshold", "1.2")[0] == 1
+        assert run_cli("perf", "compare", str(base), str(cur), "--threshold", "2.0")[0] == 0
+
+    def test_perf_compare_missing_baseline(self, tmp_path):
+        code, _ = run_cli("perf", "compare", str(tmp_path / "absent.json"))
+        assert code == 2
+
+    def test_default_threshold_is_generous(self):
+        # Cross-machine comparisons are the norm; small drift must pass.
+        assert DEFAULT_THRESHOLD >= 1.5
+
+
+class TestSharedCanonicalWriter:
+    def test_exp_sweep_json_uses_shared_writer(self):
+        from repro.exp.runner import SweepResult
+
+        sweep = SweepResult(scenario="s", key="k", points=[{"index": 0}])
+        assert sweep.to_json() == canonical_dumps(sweep.payload())
+
+    def test_canonical_dumps_is_byte_stable(self):
+        a = canonical_dumps({"b": 1, "a": [1, 2]})
+        b = canonical_dumps({"a": [1, 2], "b": 1})
+        assert a == b and a.endswith("\n")
+
+    def test_write_canonical_json_roundtrip(self, tmp_path):
+        path = tmp_path / "x" / "y.json"
+        text = write_canonical_json(str(path), {"k": 1})
+        assert path.read_text() == text == canonical_dumps({"k": 1})

@@ -1,24 +1,32 @@
 """Docs consistency checks (run in CI as the docs gate).
 
 Every scenario name referenced in README/docs must exist in the
-registry, and every registered scenario must be documented — so the
-README's "reproducing the paper" table and ``repro exp list`` can never
-drift apart silently.
+scenario registry (and every registered scenario must be documented),
+and every benchmark name referenced in README/docs must exist in the
+perf registry (and every registered benchmark must be documented in
+PERFORMANCE.md) — so the docs, ``repro exp list``, and ``repro perf
+list`` can never drift apart silently.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 
 import pytest
 
 from repro.exp import all_scenarios
+from repro.perf import all_benches
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DOC_FILES = ["README.md", "docs/ARCHITECTURE.md", "docs/SCENARIOS.md"]
+DOC_FILES = ["README.md", "docs/ARCHITECTURE.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md"]
 
 EXP_REF = re.compile(r"exp (?:run|show) ([a-z0-9][a-z0-9-]*)")
+#: Benchmark references look like `macro-faultfree` / `micro-event-queue`
+#: (the registry enforces the kind prefix, so the pattern is unambiguous).
+BENCH_REF = re.compile(r"`((?:macro|micro)-[a-z0-9-]+)`")
+PERF_CLI_REF = re.compile(r"perf (list|run|compare)")
 
 
 def read_docs() -> dict:
@@ -63,3 +71,62 @@ class TestScenarioReferences:
         corpus = "\n".join(read_docs().values())
         for name in all_scenarios():
             assert name in corpus, f"scenario {name!r} missing from README/docs"
+
+
+class TestPerfReferences:
+    def test_every_referenced_benchmark_is_registered(self):
+        # Deliberately strict: any backticked `macro-*`/`micro-*` span in
+        # the docs must be a registered benchmark name.  Prose that merely
+        # looks like one (e.g. "`micro-benchmarks`") fails here on purpose;
+        # rewrite such prose without backticks.
+        registered = set(all_benches())
+        for rel, text in read_docs().items():
+            for name in BENCH_REF.findall(text):
+                assert name in registered, f"{rel} references unknown benchmark {name!r}"
+
+    def test_every_registered_benchmark_is_documented_in_performance_md(self):
+        perf_doc = read_docs()["docs/PERFORMANCE.md"]
+        for name in all_benches():
+            assert name in perf_doc, f"benchmark {name!r} missing from PERFORMANCE.md"
+
+    def test_docs_name_the_perf_cli_verbs(self):
+        readme = read_docs()["README.md"]
+        perf_doc = read_docs()["docs/PERFORMANCE.md"]
+        for text in (readme, perf_doc):
+            verbs = set(PERF_CLI_REF.findall(text))
+            assert {"list", "run", "compare"} <= verbs, (
+                "README and PERFORMANCE.md must document `perf list`, "
+                "`perf run`, and `perf compare`"
+            )
+
+    def test_readme_points_at_the_committed_baseline(self):
+        readme = read_docs()["README.md"]
+        assert "BENCH_core.json" in readme
+        assert "docs/PERFORMANCE.md" in readme
+
+
+class TestCommittedBaseline:
+    def test_baseline_exists_and_covers_the_registry(self):
+        path = os.path.join(REPO_ROOT, "BENCH_core.json")
+        assert os.path.exists(path), "committed BENCH_core.json baseline is missing"
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == "repro-perf/1"
+        assert set(payload["benchmarks"]) == set(all_benches()), (
+            "BENCH_core.json and the perf registry disagree; re-run "
+            "`python -m repro perf run` and commit the result"
+        )
+
+    def test_baseline_is_canonical_json(self):
+        from repro.util.jsonio import canonical_dumps
+
+        path = os.path.join(REPO_ROOT, "BENCH_core.json")
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        assert text == canonical_dumps(json.loads(text))
+
+    def test_baseline_is_full_mode(self):
+        path = os.path.join(REPO_ROOT, "BENCH_core.json")
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["quick"] is False, "commit a full-mode baseline, not --quick"
