@@ -6,6 +6,8 @@
     python -m repro figures
     python -m repro exp list
     python -m repro exp run rollback-vs-splice --workers 4
+    python -m repro faults list
+    python -m repro faults describe partition
     python -m repro perf run --quick
     python -m repro perf compare BENCH_core.json
 
@@ -16,7 +18,11 @@ workload and policy names.  The ``exp`` subcommands drive the scenario
 registry (:mod:`repro.exp`): ``exp list`` shows every registered
 scenario, ``exp show`` prints one spec's axes and parameters, and ``exp
 run`` executes a sweep with process-pool fan-out and on-disk result
-caching (see ``docs/SCENARIOS.md``).  The ``perf`` subcommands drive the
+caching (see ``docs/SCENARIOS.md``).  The ``faults`` subcommands drive
+the fault-model registry (:mod:`repro.faults`): ``faults list`` shows
+every registered nemesis model and ``faults describe`` one model's
+parameters and spec grammar (see ``docs/FAULTS.md``).  The ``perf``
+subcommands drive the
 benchmark subsystem (:mod:`repro.perf`): ``perf list`` shows the
 registered benchmarks, ``perf run`` measures them into canonical JSON
 (``BENCH_core.json``), and ``perf compare`` gates a fresh run against a
@@ -129,6 +135,14 @@ def build_parser() -> argparse.ArgumentParser:
     exp_run.add_argument(
         "--json", action="store_true", help="print the raw result JSON payload"
     )
+
+    faults = sub.add_parser("faults", help="fault-model (nemesis) registry")
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_sub.add_parser("list", help="list registered fault models")
+    faults_desc = faults_sub.add_parser(
+        "describe", help="print one fault model's parameters and an example spec"
+    )
+    faults_desc.add_argument("model", help="model name (see `repro faults list`)")
 
     perf = sub.add_parser("perf", help="benchmark subsystem: measure and compare")
     perf_sub = perf.add_subparsers(dest="perf_command", required=True)
@@ -319,6 +333,54 @@ def cmd_exp_run(args, out) -> int:
     return 0
 
 
+def cmd_faults_list(out) -> int:
+    from repro.faults import all_models
+
+    rows = [
+        [info.name, ",".join(info.params), info.summary]
+        for info in all_models().values()
+    ]
+    print(
+        format_table(["model", "params", "summary"], rows, title="Fault models"),
+        file=out,
+    )
+    print(
+        "\ncompose models with `+` in a nemesis spec, e.g.\n"
+        "  crash:at=0.35,node=1+chaos:drop=0.05,dup=0.1+jitter:max=25\n"
+        "(`repro faults describe MODEL` shows parameters; docs/FAULTS.md "
+        "has the catalog)",
+        file=out,
+    )
+    return 0
+
+
+def cmd_faults_describe(args, out) -> int:
+    from repro.faults import get_model
+
+    try:
+        info = get_model(args.model)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{info.name}: {info.summary}", file=out)
+    rows = [
+        [
+            name,
+            param.kind + (" ×T" if param.fraction else ""),
+            param.describe_default(),
+            param.doc,
+        ]
+        for name, param in info.params.items()
+    ]
+    print(format_table(["param", "type", "default", "doc"], rows), file=out)
+    print(
+        f"\nexample: {info.example}\n"
+        "(×T params are fractions of the baseline makespan, like fault_frac)",
+        file=out,
+    )
+    return 0
+
+
 def cmd_perf_list(out) -> int:
     from repro.perf import all_benches
 
@@ -419,6 +481,10 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         if args.exp_command == "show":
             return cmd_exp_show(args, out)
         return cmd_exp_run(args, out)
+    if args.command == "faults":
+        if args.faults_command == "list":
+            return cmd_faults_list(out)
+        return cmd_faults_describe(args, out)
     if args.command == "perf":
         if args.perf_command == "list":
             return cmd_perf_list(out)

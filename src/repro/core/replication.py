@@ -101,7 +101,12 @@ class ReplicatedExecution(FaultTolerance):
             state.replicas[key] = _ReplicaEntry(instance_uid=task.uid)
             return True
         # Duplicate request (another parent replica or a reissue): register
-        # the requester and answer immediately when already done.
+        # the requester and answer immediately when already done.  The
+        # consumed packet still settles the inbound counter its routing
+        # incremented (accept_packet won't run to do it) — without this,
+        # deduped deliveries leave phantom load on the node.
+        if node.inbound_pending > 0:
+            node.inbound_pending -= 1
         parent = msg.packet.parent
         task = self.machine.instance(entry.instance_uid)
         if task is None:

@@ -141,6 +141,7 @@ class RollbackRecovery(FaultTolerance):
 
     def _reissue_entry(self, node: "Node", dead_node: int) -> None:
         table = self.table_of(node)
+        reissued = False
         for checkpoint in table.entry(dead_node):
             table.drop(dead_node, checkpoint.stamp, checkpoint.task_uid)
             holder = self.machine.instance(checkpoint.task_uid)
@@ -151,6 +152,11 @@ class RollbackRecovery(FaultTolerance):
                 continue
             record.checkpointed = False
             node.reissue_record(holder, record, reason="rollback-entry")
+            reissued = True
+        if reissued:
+            # One recovery activation per (survivor, dead-processor) pair
+            # that actually had checkpointed work to regenerate.
+            self.machine.metrics.recoveries_triggered += 1
 
     def _abort_starved_tasks(self, node: "Node", dead_node: int) -> None:
         """Abort tasks waiting on dead-node children that nobody reissues.

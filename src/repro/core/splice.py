@@ -179,6 +179,9 @@ class SpliceRecovery(RollbackRecovery):
         record.checkpointed = False
         self.table_of(node).drop_everywhere(stamp, holder.uid)
         node.reissue_record(holder, record, reason="splice-twin")
+        # Reactive twin creation is a recovery activation in its own
+        # right (the orphan's reroute, not the detector, initiated it).
+        node.metrics.recoveries_triggered += 1
         return twin
 
     def _flush_twin(self, node: "Node", twin: _TwinState) -> None:
@@ -239,6 +242,7 @@ class SpliceRecovery(RollbackRecovery):
         """
         state: _NodeState = node.ft_state
         table = self.table_of(node)
+        reissued = False
         for checkpoint in table.entry(dead_node):
             table.drop(dead_node, checkpoint.stamp, checkpoint.task_uid)
             holder = self.machine.instance(checkpoint.task_uid)
@@ -265,6 +269,9 @@ class SpliceRecovery(RollbackRecovery):
                 # placement so relays buffer until the re-reissue is acked.
                 twin.placed = None
             node.reissue_record(holder, record, reason="splice-entry")
+            reissued = True
+        if reissued:
+            self.machine.metrics.recoveries_triggered += 1
         # Unlike rollback, tasks waiting on dead non-topmost children are
         # left to strand: their subtrees may still deliver salvageable
         # results, and the twins recompute whatever never arrives.

@@ -27,6 +27,11 @@ Parameter conventions for the ``machine`` runner (all JSON values):
     fault placement and slowdown (defaults to the point's own policy).
 ``speedup_base_processors``
     Also run fault-free at this processor count and report ``speedup``.
+``nemesis``
+    A fault-model spec (see :func:`repro.faults.parse_nemesis`), e.g.
+    ``"partition:start=0.3,dur=0.25,group=0-1"``; time-like parameters
+    are fractions of the baseline makespan, like ``fault_frac``.  Empty
+    string means no nemesis.
 """
 
 from __future__ import annotations
@@ -153,13 +158,23 @@ def _metrics_dict(result: RunResult) -> Dict[str, Any]:
         "results_salvaged": m.results_salvaged,
         "failures_injected": m.failures_injected,
         "failures_detected": m.failures_detected,
+        "nodes_failed": list(m.nodes_failed),
+        "delivery_failures": m.delivery_failures,
+        "recoveries_triggered": m.recoveries_triggered,
+        "oracle_mismatch": m.oracle_mismatch,
+        "nemesis_dropped": m.nemesis_dropped,
+        "nemesis_duplicated": m.nemesis_duplicated,
+        "nemesis_delayed": m.nemesis_delayed,
+        "nemesis_partition_blocked": m.nemesis_partition_blocked,
+        "nemesis_slowdown_time": round(m.nemesis_slowdown_time, 6),
         "messages_total": m.messages_total,
     }
 
 
-def _util_stats(
-    result: RunResult, dead: List[int]
-) -> Tuple[Optional[float], Optional[float]]:
+def _util_stats(result: RunResult) -> Tuple[Optional[float], Optional[float]]:
+    # Survivors are whoever actually stayed alive — metrics.nodes_failed
+    # covers crashes from the fault schedule and from nemesis models alike.
+    dead = set(result.metrics.nodes_failed)
     util = result.metrics.utilization(result.makespan)
     procs = [u for nid, u in util.items() if nid >= 0]
     survivors = [u for nid, u in util.items() if nid >= 0 and nid not in dead]
@@ -199,9 +214,14 @@ def run_machine_point(params: Mapping[str, Any]) -> Dict[str, Any]:
     fault_pairs = parse_fault_fracs(str(params.get("faults", "")))
     if params.get("fault_frac") is not None:
         fault_pairs.append((float(params["fault_frac"]), int(params.get("victim", 1))))
+    nemesis_spec = str(params.get("nemesis", "") or "")
 
     base: Optional[Tuple[float, int, int]] = None
-    need_base = bool(fault_pairs) or params.get("speedup_base_processors") is not None
+    need_base = (
+        bool(fault_pairs)
+        or bool(nemesis_spec)
+        or params.get("speedup_base_processors") is not None
+    )
     if need_base:
         base_policy = str(params.get("base_policy") or policy_spec)
         base_cfg = config
@@ -214,12 +234,17 @@ def run_machine_point(params: Mapping[str, Any]) -> Dict[str, Any]:
     faults = FaultSchedule.of(
         *(Fault(max(1.0, frac * base[0]), node) for frac, node in fault_pairs)
     )
+    nemesis = None
+    if nemesis_spec:
+        from repro.faults import parse_nemesis
+
+        nemesis = parse_nemesis(nemesis_spec, base[0])
     result = run_simulation(
         wfactory(), config, policy=build_policy(policy_spec),
-        faults=faults, collect_trace=False,
+        faults=faults, collect_trace=False, nemesis=nemesis,
     )
 
-    util_mean, util_spread = _util_stats(result, [n for _, n in fault_pairs])
+    util_mean, util_spread = _util_stats(result)
     out: Dict[str, Any] = {
         "workload": params["workload"],
         "policy": policy_spec,
@@ -237,6 +262,8 @@ def run_machine_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         "utilization_stddev_survivors": util_spread,
         "metrics": _metrics_dict(result),
     }
+    if nemesis_spec:
+        out["nemesis"] = nemesis_spec
     if tree_size is not None:
         out["tree_size"] = tree_size
     if base is not None:
@@ -336,4 +363,16 @@ RUNNERS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
     "machine": run_machine_point,
     "figure": run_figure_point,
     "periodic": run_periodic_point,
+}
+
+#: Bump a runner's version whenever its result semantics change (new or
+#: altered result keys, changed metric meanings): the version enters
+#: every spec's cache identity, so stale on-disk sweep results are never
+#: served after a runner change.  machine v2: nemesis support, the
+#: recovery-quality counters, nodes_failed-based survivor stats, and the
+#: delivery_failures double-count fix.
+RUNNER_VERSIONS: Dict[str, int] = {
+    "machine": 2,
+    "figure": 1,
+    "periodic": 1,
 }

@@ -304,6 +304,110 @@ register(
     )
 )
 
+# -- chaos scenarios (nemesis subsystem, see docs/FAULTS.md) ------------------
+
+register(
+    ScenarioSpec(
+        name="chaos-partition",
+        title="N1: partition-then-heal vs recovery policy",
+        description=(
+            "A healing network partition (nodes 0-1 vs 2-3): each side "
+            "writes the other off and recovers its regions; after the "
+            "heal, stale results arrive as duplicates/orphans and must "
+            "be suppressed by the §4.1 case machinery. All points must "
+            "verify against the oracle. Times are fractions of "
+            "rollback's fault-free makespan."
+        ),
+        runner="machine",
+        base={
+            "workload": "balanced:4:2:30",
+            "processors": 4,
+            "seed": 0,
+            "base_policy": "rollback",
+        },
+        axes={
+            "policy": ("rollback", "splice"),
+            "nemesis": (
+                "partition:start=0.3,dur=0.25,group=0-1",
+                "partition:start=0.5,dur=0.2,group=0-1",
+            ),
+        },
+        columns=(
+            "makespan", "verified", "nemesis_partition_blocked",
+            "recoveries_triggered", "results_duplicate", "results_ignored",
+        ),
+        tags=("chaos",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="chaos-grayfail",
+        title="N2: gray failure (slow node) compounding a crash",
+        description=(
+            "Processor 1 runs 4x/8x slow for most of the run while "
+            "processor 2 dies mid-run: recovery must proceed on a "
+            "degraded machine (the HEAL regime — online recovery under "
+            "heterogeneous failure conditions). The empty-nemesis point "
+            "is the control."
+        ),
+        runner="machine",
+        base={
+            "workload": "balanced:4:2:30",
+            "processors": 4,
+            "seed": 0,
+            "base_policy": "rollback",
+        },
+        axes={
+            "policy": ("rollback", "splice"),
+            "nemesis": (
+                "",
+                "grayfail:node=1,start=0.1,dur=0.6,factor=4+crash:at=0.4,node=2",
+                "grayfail:node=1,start=0.1,dur=0.6,factor=8+crash:at=0.4,node=2",
+            ),
+        },
+        columns=(
+            "makespan", "verified", "nemesis_slowdown_time",
+            "recoveries_triggered", "steps_wasted",
+        ),
+        tags=("chaos",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="chaos-storm",
+        title="N3: crash + message chaos + detector jitter",
+        description=(
+            "The composed adversary: a mid-run crash under silent "
+            "message drops (recovered by ack timeouts), duplicated and "
+            "reordered deliveries (deduped by stamp), and a jittered "
+            "detector. Rollback and splice must both still terminate "
+            "with the oracle's answer."
+        ),
+        runner="machine",
+        base={
+            "workload": "balanced:4:2:30",
+            "processors": 4,
+            "seed": 0,
+            "base_policy": "rollback",
+        },
+        axes={
+            "policy": ("rollback", "splice"),
+            "nemesis": (
+                "crash:at=0.35,node=1"
+                "+chaos:drop=0.05,dup=0.1,reorder=0.2,span=40"
+                "+jitter:max=25",
+            ),
+        },
+        columns=(
+            "makespan", "verified", "nemesis_dropped", "nemesis_duplicated",
+            "nemesis_delayed", "results_duplicate", "tasks_reissued",
+        ),
+        tags=("chaos",),
+    )
+)
+
 register(
     ScenarioSpec(
         name="smoke",

@@ -86,10 +86,19 @@ class ScenarioSpec:
     version: int = 1
 
     def identity(self) -> Dict[str, Any]:
-        """The JSON payload that defines this spec's result-cache key."""
+        """The JSON payload that defines this spec's result-cache key.
+
+        Includes the runner's own version
+        (:data:`repro.exp.points.RUNNER_VERSIONS`) alongside the spec's,
+        so a semantic change to a point runner invalidates every cached
+        sweep that used it without touching each spec.
+        """
+        from repro.exp.points import RUNNER_VERSIONS
+
         return {
             "name": self.name,
             "runner": self.runner,
+            "runner_version": RUNNER_VERSIONS.get(self.runner, 1),
             "base": dict(self.base),
             "axes": {k: list(v) for k, v in self.axes.items()},
             "version": self.version,

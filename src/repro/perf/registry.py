@@ -138,6 +138,60 @@ register(
 )
 
 
+_CHAOS_NEMESIS = (
+    "crash:at=0.35,node=1+chaos:drop=0.05,dup=0.1,reorder=0.2,span=40+jitter:max=25"
+)
+
+
+def _chaos_factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
+    from repro.config import SimConfig
+    from repro.exp.points import build_policy, build_workload
+    from repro.faults import parse_nemesis
+    from repro.sim.machine import run_simulation
+
+    wfactory, _ = build_workload(_STORM_TREE)
+    config = SimConfig(n_processors=_PROCESSORS, seed=0)
+    base = run_simulation(
+        wfactory(), config, policy=build_policy("splice"), collect_trace=False
+    )
+    if not base.completed:  # pragma: no cover - setup sanity
+        raise RuntimeError(f"baseline run stalled: {base.stall_reason}")
+    base_makespan = base.makespan
+
+    def thunk() -> Mapping[str, Any]:
+        result = run_simulation(
+            wfactory(),
+            config,
+            policy=build_policy("splice"),
+            collect_trace=False,
+            nemesis=parse_nemesis(_CHAOS_NEMESIS, base_makespan),
+        )
+        checks = _run_checks(result)
+        m = result.metrics
+        checks["verified"] = result.verified
+        checks["nemesis_events"] = m.nemesis_events
+        return checks
+
+    return thunk
+
+
+register(
+    BenchSpec(
+        name="macro-chaos",
+        kind="macro",
+        title="nemesis-on splice storm (crash + message chaos + jitter)",
+        description=(
+            f"The {_STORM_TREE} splice run with an armed nemesis: a mid-run "
+            "crash, 5% silent drops, 10% duplicates, 20% reordered "
+            "deliveries, and detector jitter — the cost of the fault hooks "
+            "when they are actually firing (macro-splice-storm is the "
+            "hooks-idle comparator)."
+        ),
+        factory=_chaos_factory,
+    )
+)
+
+
 def _sweep_factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
     from repro.exp import get_scenario, run_scenario
 
@@ -317,6 +371,47 @@ register(
             "reduction — the predicates recovery decisions hinge on."
         ),
         factory=_stamp_ordering_factory,
+    )
+)
+
+
+def _partition_check_factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
+    from repro.faults import Partition
+
+    model = Partition(start=100.0, duration=400.0, group=(0, 1, 2))
+    model.validate(_PROCESSORS)
+    n = 30_000
+    # Mixed population: in-window cross-group, in-window same-group,
+    # out-of-window, and super-root traffic.
+    probes = [
+        ((i * 7) % _PROCESSORS - (1 if i % 11 == 0 else 0),
+         (i * 13 + 3) % _PROCESSORS,
+         float((i * 17) % 700))
+        for i in range(n)
+    ]
+
+    def thunk() -> Mapping[str, Any]:
+        blocks = model.blocks
+        blocked = 0
+        for src, dst, now in probes:
+            if blocks(src, dst, now):
+                blocked += 1
+        return {"probes": n, "blocked": blocked}
+
+    return thunk
+
+
+register(
+    BenchSpec(
+        name="micro-partition-check",
+        kind="micro",
+        title="partition-membership check",
+        description=(
+            "30k Partition.blocks probes over mixed links and times — the "
+            "per-message predicate every send pays while a partition model "
+            "is armed."
+        ),
+        factory=_partition_check_factory,
     )
 )
 

@@ -45,7 +45,11 @@ class FaultSchedule:
 
     @staticmethod
     def of(*faults: Fault) -> "FaultSchedule":
-        return FaultSchedule(tuple(sorted(faults, key=lambda f: (f.time, f.node))))
+        # Duplicate (time, node) entries are collapsed: injecting the
+        # same crash twice is a schedule-authoring slip, not a second
+        # fault (the injector would ignore it anyway, but a silently
+        # double-counted schedule misleads len()/nodes() consumers).
+        return FaultSchedule(tuple(sorted(set(faults), key=lambda f: (f.time, f.node))))
 
     @staticmethod
     def single(time: float, node: int) -> "FaultSchedule":
@@ -87,6 +91,7 @@ class FaultInjector:
             return  # already dead (duplicate schedule entry)
         node.kill()
         machine.metrics.failures_injected += 1
+        machine.metrics.nodes_failed.append(fault.node)
         if machine.metrics.first_failure_time is None:
             machine.metrics.first_failure_time = machine.queue.now
         machine.trace.emit(machine.queue.now, fault.node, "node_failed")
@@ -96,9 +101,12 @@ class FaultInjector:
         """Deliver failure notices to all survivors (and the super-root)."""
         machine = self.machine
         cost = machine.config.cost
+        nemesis = machine.nemesis
         targets = [n for n in machine.all_nodes() if n.alive]
         for node in targets:
             delay = cost.detector_delay + machine.network.latency(dead, node.id)
+            if nemesis is not None:
+                delay += nemesis.detector_extra(dead, node.id)
             machine.queue.after(
                 delay,
                 lambda n=node, d=dead: n.on_failure_notice(d),

@@ -132,6 +132,9 @@ class Machine:
         self._processors: List[Node] = [self.nodes[i] for i in range(config.n_processors)]
         self._all_nodes: List[Node] = [self.super_root] + self._processors
 
+        #: Armed nemesis schedule for this run, or None (the guarded fast
+        #: path).  Set by NemesisSchedule.arm() from run().
+        self.nemesis = None
         self.instance_registry: Dict[int, TaskInstance] = {}
         self.root_host_uid: Optional[int] = None
         self._finished = False
@@ -178,8 +181,15 @@ class Machine:
         self,
         faults: FaultSchedule = FaultSchedule.none(),
         verify: bool = True,
+        nemesis=None,
     ) -> RunResult:
-        """Evaluate the workload to completion (or stall) and report."""
+        """Evaluate the workload to completion (or stall) and report.
+
+        ``nemesis`` is an optional
+        :class:`~repro.faults.model.NemesisSchedule`; an empty (or
+        omitted) one leaves every hook unbound, so the run is
+        byte-identical to a pre-nemesis machine.
+        """
         if self._ran:
             raise SimError("a Machine is single-shot; build a new one per run")
         self._ran = True
@@ -189,6 +199,8 @@ class Machine:
                 raise SimError(f"fault targets unknown processor {fault.node}")
 
         FaultInjector(self, faults).arm()
+        if nemesis is not None:
+            nemesis.arm(self)
         self._start_root_host()
         self.queue.run(
             until=lambda: self._finished,
@@ -210,6 +222,8 @@ class Machine:
             expected = self.workload.expected_value()
             if self._finished:
                 verified = value_equal(self.root_value, expected)
+                if verified is False:
+                    self.metrics.oracle_mismatch = True
 
         return RunResult(
             completed=self._finished,
@@ -280,6 +294,7 @@ def run_simulation(
     faults: FaultSchedule = FaultSchedule.none(),
     collect_trace: bool = True,
     verify: bool = True,
+    nemesis=None,
 ) -> RunResult:
     """Convenience one-call runner."""
     machine = Machine(
@@ -288,4 +303,4 @@ def run_simulation(
         policy,
         collect_trace=collect_trace,
     )
-    return machine.run(faults=faults, verify=verify)
+    return machine.run(faults=faults, verify=verify, nemesis=nemesis)

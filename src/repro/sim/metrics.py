@@ -47,6 +47,24 @@ class Metrics:
     failures_injected: int = 0
     failures_detected: int = 0
     delivery_failures: int = 0
+    #: Ids of processors actually killed, in death order — covers both
+    #: the machine's fault schedule and nemesis crash/cascade models
+    #: (survivor statistics must not depend on how a crash was injected).
+    nodes_failed: list = field(default_factory=list)
+    #: Failure-detection events on which a policy actually reissued work
+    #: (the recovery-quality counterpart of failures_detected, which also
+    #: counts detections with nothing checkpointed locally).
+    recoveries_triggered: int = 0
+    #: Root value disagreed with the sequential oracle (a recovery bug or
+    #: an adversary the scheme provably cannot mask).
+    oracle_mismatch: bool = False
+
+    # Nemesis (fault injection beyond crashes; see repro.faults)
+    nemesis_dropped: int = 0
+    nemesis_duplicated: int = 0
+    nemesis_delayed: int = 0
+    nemesis_partition_blocked: int = 0
+    nemesis_slowdown_time: float = 0.0
 
     # Replication / voting
     votes_recorded: int = 0
@@ -75,6 +93,16 @@ class Metrics:
     def messages_total(self) -> int:
         return sum(self.messages_by_type.values())
 
+    @property
+    def nemesis_events(self) -> int:
+        """Total delivery interferences the nemesis injected."""
+        return (
+            self.nemesis_dropped
+            + self.nemesis_duplicated
+            + self.nemesis_delayed
+            + self.nemesis_partition_blocked
+        )
+
     def utilization(self, makespan: float) -> Dict[int, float]:
         """Busy fraction per node over the run."""
         if makespan <= 0:
@@ -98,6 +126,8 @@ class Metrics:
             ("steps total", self.steps_total),
             ("steps wasted", self.steps_wasted),
             ("results salvaged", self.results_salvaged),
+            ("recoveries triggered", self.recoveries_triggered),
+            ("nemesis events", self.nemesis_events),
             ("checkpoints recorded", self.checkpoints_recorded),
             ("checkpoint peak held", self.checkpoint_peak_held),
             ("messages total", self.messages_total),

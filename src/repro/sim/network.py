@@ -16,7 +16,11 @@ Sends to the super-root (node -1) never fail.
 and result goes through it), so it computes hop count once, skips the
 jitter stream entirely when the cost model has none, and reuses one
 interned label per message type instead of formatting a fresh string per
-message.
+message.  The nemesis hook costs one ``is None`` check on that path
+(the same guard discipline as ``trace.enabled``): an armed
+:class:`~repro.faults.model.NemesisSchedule` may intercept a send to
+drop, duplicate, or delay it via :meth:`Network.drop_message` and
+:meth:`Network.deliver_copy`.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from typing import TYPE_CHECKING, Dict
 
 from repro.core.packets import SUPER_ROOT_NODE
 from repro.sim.events import PRIORITY_CONTROL, PRIORITY_MESSAGE, EventQueue
-from repro.sim.messages import Message
+from repro.sim.messages import Message, TaskPacketMsg
 from repro.sim.topology import Topology
 from repro.util.rng import RngHub
 
@@ -60,6 +64,7 @@ class Network:
         self.cost = cost
         self.machine: "Machine" = None  # bound by Machine
         self.metrics = None  # bound by attach()
+        self.nemesis = None  # bound by NemesisSchedule.arm(); None = fast path
         self._hop_latency = cost.hop_latency
         self._jitter = cost.latency_jitter
 
@@ -93,6 +98,8 @@ class Network:
         msg_type = type(msg)
         hops = self.topology.hops(msg.src, msg.dst)
         self.metrics.record_message(msg_type.__name__, hops)
+        if self.nemesis is not None and self.nemesis.intercept_send(self, msg, hops):
+            return
         delay = self._delay(hops)
         dst = machine.nodes[msg.dst]
 
@@ -106,9 +113,59 @@ class Network:
             delay, deliver, label=_deliver_label(msg_type), priority=PRIORITY_MESSAGE
         )
 
+    def deliver_copy(self, msg: Message, delay: float) -> None:
+        """Schedule one delivery of ``msg`` after ``delay``.
+
+        Nemesis-only path (duplicated, delayed, and reordered copies);
+        the default path in :meth:`send` keeps its own inline closure so
+        the fault-free hot loop pays no extra call.
+        """
+        dst = self.machine.nodes[msg.dst]
+
+        def deliver() -> None:
+            if dst.alive:
+                dst.on_message(msg)
+            else:
+                self._notify_loss(msg)
+
+        self.queue.after(
+            delay, deliver, label=_deliver_label(type(msg)), priority=PRIORITY_MESSAGE
+        )
+
+    def drop_message(self, msg: Message, notify: bool, reason: str) -> None:
+        """Nemesis-requested loss of ``msg`` (never on the default path).
+
+        With ``notify``, the loss surfaces through the same sender-side
+        detection as a dead destination (:meth:`_notify_loss`); without
+        it the message silently vanishes and recovery rides on the
+        parent's ack timeout.
+        """
+        machine = self.machine
+        if reason == "partition":
+            self.metrics.nemesis_partition_blocked += 1
+        else:
+            self.metrics.nemesis_dropped += 1
+        dst = machine.nodes[msg.dst]
+        # A dropped task packet never arrives to decrement the inbound
+        # counter accept_packet maintains; rebalance it here so the load
+        # gradient doesn't drift under sustained chaos.
+        if dst.alive and dst.inbound_pending > 0 and type(msg) is TaskPacketMsg:
+            dst.inbound_pending -= 1
+        if machine.trace.enabled:
+            machine.trace.emit(
+                self.queue.now,
+                msg.src,
+                "nemesis_drop",
+                msg_type=type(msg).__name__,
+                to=msg.dst,
+                reason=reason,
+            )
+        if notify:
+            self._notify_loss(msg)
+
     def _notify_loss(self, msg: Message) -> None:
-        """The destination was dead at delivery time: after the detection
-        timeout, tell the sender (if still alive)."""
+        """The destination was dead (or unreachable) at delivery time:
+        after the detection timeout, tell the sender (if still alive)."""
         machine = self.machine
         machine.metrics.delivery_failures += 1
 

@@ -92,6 +92,9 @@ class Node:
         #: Processors this node knows to be dead.
         self.known_dead: Set[int] = set()
         self.ft_state = None  # policy-specific state, set by the machine
+        #: Armed nemesis schedule, or None (the guarded fast path — same
+        #: discipline as ``trace.enabled``).  Set by NemesisSchedule.arm().
+        self.nemesis = None
         self._run_label = f"run:node{node_id}"
         self._slice_label = f"slice-end:node{node_id}"
 
@@ -139,8 +142,12 @@ class Node:
             raise ProtocolError(f"unknown message type: {msg!r}")
 
     def on_delivery_failed(self, msg: Message, dead_node: int) -> None:
-        """The network reports a message of ours was undeliverable."""
-        self.metrics.delivery_failures += 1
+        """The network reports a message of ours was undeliverable.
+
+        The loss itself was already counted in ``delivery_failures`` by
+        :meth:`Network._notify_loss`; counting again here would double
+        every detected loss.
+        """
         if self.trace.enabled:
             self.trace.emit(
                 self.queue.now,
@@ -334,6 +341,13 @@ class Node:
         duration = slice_steps * cost.reduction_step
         if new_records:
             duration += len(new_records) * cost.spawn_overhead
+        nemesis = self.nemesis
+        if nemesis is not None and duration > 0.0:
+            # Gray failure: a model may stretch this node's step time.
+            scaled = nemesis.scale_step_time(self.id, self.queue.now, duration)
+            if scaled != duration:
+                self.metrics.nemesis_slowdown_time += scaled - duration
+                duration = scaled
         self.metrics.add_busy(self.id, duration)
         done_at = self.queue.now + duration
         self.busy_until = done_at

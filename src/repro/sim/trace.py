@@ -52,6 +52,9 @@ KINDS = (
     "ack_received",
     "vote_recorded",
     "vote_decided",
+    "nemesis_drop",
+    "nemesis_duplicate",
+    "nemesis_delay",
 )
 
 _KINDS_SET = frozenset(KINDS)

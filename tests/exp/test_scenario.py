@@ -93,6 +93,15 @@ class TestSpecKey:
         assert tiny_spec(base={"workload": "other"}).key() != tiny_spec().key()
         assert tiny_spec(version=2).key() != tiny_spec().key()
 
+    def test_key_changes_with_runner_version(self, monkeypatch):
+        # A runner semantics change must invalidate every cached sweep
+        # that used the runner, without editing each spec.
+        from repro.exp import points
+
+        before = tiny_spec().key()
+        monkeypatch.setitem(points.RUNNER_VERSIONS, "machine", 99)
+        assert tiny_spec().key() != before
+
     def test_key_ignores_display_fields(self):
         assert tiny_spec(columns=("makespan",), title="x").key() == tiny_spec().key()
 

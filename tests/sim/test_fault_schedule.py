@@ -1,0 +1,43 @@
+"""FaultSchedule construction invariants (regression: duplicate faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.failure import Fault, FaultSchedule
+
+
+class TestFaultScheduleOf:
+    def test_orders_by_time_then_node(self):
+        schedule = FaultSchedule.of(Fault(90.0, 1), Fault(10.0, 3), Fault(10.0, 0))
+        assert [(f.time, f.node) for f in schedule] == [
+            (10.0, 0), (10.0, 3), (90.0, 1),
+        ]
+
+    def test_deduplicates_identical_faults(self):
+        # Regression: .of() silently kept duplicate (time, node) entries,
+        # so len()/nodes() double-counted a single crash.
+        schedule = FaultSchedule.of(Fault(50.0, 1), Fault(50.0, 1), Fault(70.0, 2))
+        assert len(schedule) == 2
+        assert schedule.nodes() == [1, 2]
+
+    def test_same_node_different_times_both_kept(self):
+        # Not duplicates: a second fault on an already-dead node is a
+        # no-op at injection time but remains a distinct schedule entry.
+        schedule = FaultSchedule.of(Fault(50.0, 1), Fault(80.0, 1))
+        assert len(schedule) == 2
+
+    def test_same_time_different_nodes_both_kept(self):
+        schedule = FaultSchedule.of(Fault(50.0, 1), Fault(50.0, 2))
+        assert len(schedule) == 2
+
+    def test_empty_and_single(self):
+        assert len(FaultSchedule.of()) == 0
+        assert len(FaultSchedule.none()) == 0
+        assert FaultSchedule.single(10.0, 1).nodes() == [1]
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Fault(-1.0, 0)
+        with pytest.raises(ValueError, match="real processors"):
+            Fault(1.0, -1)

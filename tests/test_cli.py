@@ -92,6 +92,30 @@ class TestFaultParsing:
             _parse_fault("600")
 
 
+class TestFaults:
+    def test_faults_list_shows_models_and_composition_hint(self):
+        code, text = run_cli("faults", "list")
+        assert code == 0
+        for name in ("crash", "cascade", "partition", "chaos", "grayfail", "jitter"):
+            assert name in text
+        assert "compose" in text and "docs/FAULTS.md" in text
+
+    def test_faults_describe_shows_params_and_example(self):
+        code, text = run_cli("faults", "describe", "chaos")
+        assert code == 0
+        assert "drop" in text and "reorder" in text
+        assert "example:" in text and "fractions of the baseline makespan" in text
+
+    def test_faults_describe_marks_fraction_params(self):
+        code, text = run_cli("faults", "describe", "partition")
+        assert code == 0
+        assert "×T" in text
+
+    def test_faults_describe_unknown(self):
+        code, _ = run_cli("faults", "describe", "no-such-model")
+        assert code == 2
+
+
 class TestExp:
     def test_exp_list_shows_scenarios(self):
         code, text = run_cli("exp", "list")

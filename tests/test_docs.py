@@ -2,10 +2,12 @@
 
 Every scenario name referenced in README/docs must exist in the
 scenario registry (and every registered scenario must be documented),
-and every benchmark name referenced in README/docs must exist in the
-perf registry (and every registered benchmark must be documented in
-PERFORMANCE.md) — so the docs, ``repro exp list``, and ``repro perf
-list`` can never drift apart silently.
+every benchmark name referenced in README/docs must exist in the perf
+registry (and every registered benchmark must be documented in
+PERFORMANCE.md), and the fault-model registry must agree with
+FAULTS.md and the ``repro faults`` CLI — so the docs, ``repro exp
+list``, ``repro perf list``, and ``repro faults list`` can never drift
+apart silently.
 """
 
 from __future__ import annotations
@@ -17,16 +19,29 @@ import re
 import pytest
 
 from repro.exp import all_scenarios
+from repro.faults import all_models
 from repro.perf import all_benches
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DOC_FILES = ["README.md", "docs/ARCHITECTURE.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md"]
+DOC_FILES = [
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/SCENARIOS.md",
+    "docs/PERFORMANCE.md",
+    "docs/FAULTS.md",
+]
 
 EXP_REF = re.compile(r"exp (?:run|show) ([a-z0-9][a-z0-9-]*)")
 #: Benchmark references look like `macro-faultfree` / `micro-event-queue`
 #: (the registry enforces the kind prefix, so the pattern is unambiguous).
 BENCH_REF = re.compile(r"`((?:macro|micro)-[a-z0-9-]+)`")
 PERF_CLI_REF = re.compile(r"perf (list|run|compare)")
+FAULTS_CLI_REF = re.compile(r"faults (list|describe)")
+
+#: The fault-model registry names are API: scenario specs, sweep caches,
+#: and docs all reference them as strings, so renames are breaking
+#: changes and must be made deliberately (here and in docs/FAULTS.md).
+FAULT_MODEL_NAMES = {"crash", "cascade", "partition", "chaos", "grayfail", "jitter"}
 
 
 def read_docs() -> dict:
@@ -103,6 +118,43 @@ class TestPerfReferences:
         readme = read_docs()["README.md"]
         assert "BENCH_core.json" in readme
         assert "docs/PERFORMANCE.md" in readme
+
+
+class TestFaultModelReferences:
+    def test_registry_names_are_pinned(self):
+        assert set(all_models()) == FAULT_MODEL_NAMES, (
+            "fault-model registry names changed; update FAULT_MODEL_NAMES, "
+            "docs/FAULTS.md, and any scenario specs deliberately"
+        )
+
+    def test_every_model_documented_in_faults_md(self):
+        faults_doc = read_docs()["docs/FAULTS.md"]
+        for name in all_models():
+            assert f"`{name}`" in faults_doc, (
+                f"fault model {name!r} missing from docs/FAULTS.md"
+            )
+
+    def test_docs_name_the_faults_cli_verbs(self):
+        readme = read_docs()["README.md"]
+        faults_doc = read_docs()["docs/FAULTS.md"]
+        for text in (readme, faults_doc):
+            verbs = set(FAULTS_CLI_REF.findall(text))
+            assert {"list", "describe"} <= verbs, (
+                "README and FAULTS.md must document `faults list` and "
+                "`faults describe`"
+            )
+
+    def test_chaos_scenarios_registered_and_documented(self):
+        registered = set(all_scenarios())
+        corpus = "\n".join(read_docs().values())
+        for name in ("chaos-partition", "chaos-grayfail", "chaos-storm"):
+            assert name in registered
+            assert name in corpus, f"chaos scenario {name!r} missing from docs"
+
+    def test_faults_md_shows_the_spec_grammar(self):
+        faults_doc = read_docs()["docs/FAULTS.md"]
+        # the composition operator and a worked spec must be shown
+        assert "+" in faults_doc and "crash:at=" in faults_doc
 
 
 class TestCommittedBaseline:
