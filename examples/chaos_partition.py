@@ -10,46 +10,42 @@ results as duplicates and orphans.  Both policies have to finish with
 the sequential oracle's answer; the table contrasts what the recovery
 storm cost each of them.
 
+The whole experiment is four lines of ``repro.api``: the partition
+windows are fractions of the baseline makespan, so the Experiment
+builder measures the fault-free run and scales the nemesis for us —
+the same canonical RunSpec path `repro run --nemesis` and the
+`chaos-partition` scenario sweep use.
+
     python examples/chaos_partition.py
 """
 
-from repro.config import SimConfig
-from repro.core import RollbackRecovery, SpliceRecovery
-from repro.faults import NemesisSchedule, Partition
-from repro.sim import TreeWorkload
-from repro.sim.machine import run_simulation
+from repro.api import Experiment, Session
 from repro.util.tables import format_table
-from repro.workloads.trees import balanced_tree
+
+WORKLOAD = "balanced:4:2:30"
+NEMESIS = "partition:start=0.3,dur=0.25,group=0-1"
 
 
 def main() -> None:
-    spec = balanced_tree(4, 2, 30)
-    config = SimConfig(n_processors=4, seed=0)
-
-    base = run_simulation(
-        TreeWorkload(spec, "bal-4-2"), config, policy=RollbackRecovery(),
-        collect_trace=False,
-    )
-    print(f"fault-free makespan: {base.makespan:.0f}")
-    start, dur = 0.3 * base.makespan, 0.25 * base.makespan
-    print(f"partition: nodes 0-1 | 2-3, t=[{start:.0f}, {start + dur:.0f})\n")
-
+    session = Session()
     rows = []
-    for policy in (RollbackRecovery(), SpliceRecovery()):
-        # A nemesis schedule is single-shot state bound to one machine
-        # (like the machine itself) — build one per run.
-        nemesis = NemesisSchedule.of(Partition(start, dur, group=(0, 1)))
-        r = run_simulation(
-            TreeWorkload(spec, "bal-4-2"), config, policy=policy,
-            collect_trace=False, nemesis=nemesis,
+    for policy in ("rollback", "splice"):
+        handle = session.run(
+            Experiment.workload(WORKLOAD)
+            .policy(policy)
+            .base_policy("rollback")  # both slowdowns vs the same baseline
+            .nemesis(NEMESIS)
+            .processors(4)
+            .seed(0)
         )
-        assert r.completed and r.verified is True, r.stall_reason
-        m = r.metrics
+        assert handle.completed and handle.verified is True, handle.result.stall_reason
+        base_makespan = handle.baseline[0]
+        m = handle.metrics
         rows.append(
             [
-                r.policy_name,
-                round(r.makespan, 0),
-                f"{r.makespan / base.makespan:.2f}x",
+                handle.result.policy_name,
+                round(handle.makespan, 0),
+                f"{handle.makespan / base_makespan:.2f}x",
                 m.nemesis_partition_blocked,
                 m.recoveries_triggered,
                 m.tasks_reissued,
@@ -57,6 +53,13 @@ def main() -> None:
                 m.results_duplicate + m.results_ignored,
             ]
         )
+
+    first = session.handles[0]
+    base_makespan = first.baseline[0]
+    start, dur = 0.3 * base_makespan, 0.25 * base_makespan
+    print(f"fault-free makespan: {base_makespan:.0f}")
+    print(f"partition: nodes 0-1 | 2-3, t=[{start:.0f}, {start + dur:.0f})")
+    print(f"spec: {first.spec.nemesis.to_spec_str()}\n")
     print(
         format_table(
             [
@@ -72,8 +75,9 @@ def main() -> None:
         "\nthe other's regions; after the heal, the written-off side's"
         "\nresults arrive late and are discarded by the stamp-keyed"
         "\nduplicate/orphan machinery (paper §4.1, cases 6-8).  See"
-        "\ndocs/FAULTS.md for the model catalog and `repro exp run"
-        "\nchaos-partition` for the registered sweep."
+        "\ndocs/FAULTS.md for the model catalog, docs/API.md for the"
+        "\nExperiment builder, and `repro exp run chaos-partition` for"
+        "\nthe registered sweep."
     )
 
 

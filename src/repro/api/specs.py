@@ -1,0 +1,952 @@
+"""Typed, serializable experiment specs (the ``repro.api`` data layer).
+
+Every experiment in this repo is one shape: a *workload* evaluated under
+a recovery *policy* on a configured *machine* while a fault schedule
+and/or a *nemesis* injects failures.  This module gives that shape a
+single canonical description — frozen dataclasses composed into a
+:class:`RunSpec` — that the CLI, the scenario registry, the perf
+benchmarks, and the programmatic API all consume and produce.
+
+Each spec class supports four operations:
+
+``parse(text)``
+    Parse the legacy string grammar into a typed spec, raising a
+    structured :class:`~repro.errors.SpecError` (offending field, token,
+    allowed values, position) on malformed input.
+``to_spec_str()``
+    Render the canonical string form.  Round-trip guarantee:
+    ``parse(s.to_spec_str()) == s`` for every spec ``s``.
+``to_json()`` / ``from_json(payload)``
+    Lossless JSON document form: ``from_json(to_json(s)) == s``.
+``build(...)``
+    Resolve the spec into the live object the simulator consumes
+    (workload factory, policy instance, ``SimConfig``, ``FaultSchedule``,
+    ``NemesisSchedule``).
+
+String grammars (all legacy-compatible):
+
+- workload: suite name (``fib-10``), ``balanced:DEPTH:FANOUT:WORK``,
+  ``chain:LEN:WORK``, ``wide:WIDTH:WORK``, ``skewed:DEPTH:FANOUT:WORK``,
+  ``random:SEED:TASKS``, ``prog:NAME:ARG:...``
+- policy: ``none`` | ``rollback`` | ``splice`` | ``replicated[:K]``
+- faults: ``T:NODE(+T:NODE)*`` where ``T`` is a fraction of the baseline
+  makespan (``mode="frac"``) or an absolute sim time (``mode="time"``)
+- nemesis: ``model:k=v,...(+model:k=v,...)*`` (see ``repro faults list``)
+- machine: ``processors=8,topology=ring,scheduler=gradient,``
+  ``replication=3,cost.NAME=V,...``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.config import SCHEDULERS, TOPOLOGIES, CostModel, SimConfig
+from repro.errors import SpecError
+
+#: Schema tag carried by every RunSpec JSON document.
+RUNSPEC_SCHEMA = "repro-runspec/1"
+
+#: Synthetic-tree workload kinds -> (min_args, max_args) of the builder.
+_TREE_ARITY = {"balanced": (1, 3), "chain": (1, 2), "wide": (1, 2), "skewed": (1, 3)}
+
+_COST_FIELDS = tuple(f.name for f in dataclass_fields(CostModel))
+
+
+def _fmt_num(value: Any) -> str:
+    """Canonical, lossless rendering of a spec number.
+
+    ``repr`` keeps full float precision (round-trip exactness); integral
+    floats drop the trailing ``.0`` so ``span=40`` survives a
+    parse/serialize cycle byte-for-byte.  Positive exponent signs are
+    dropped (``1e+16`` -> ``1e16``, same float) because ``+`` is the
+    entry/clause separator in the fault and nemesis grammars.
+    """
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return str(value)
+        text = repr(value).replace("e+", "e")
+        return text[:-2] if text.endswith(".0") else text
+    return str(value)
+
+
+def _parse_int(token: str, *, spec: str, field_name: str, position: int) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise SpecError(
+            f"bad value {token!r} for {field_name} (expected int)",
+            spec=spec, field=field_name, value=token, position=position,
+        ) from None
+
+
+def _parse_float(token: str, *, spec: str, field_name: str, position: int) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise SpecError(
+            f"bad value {token!r} for {field_name} (expected float)",
+            spec=spec, field=field_name, value=token, position=position,
+        ) from None
+
+
+# -- workload ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What to evaluate: a named suite entry, a synthetic tree, or a program.
+
+    ``kind`` is ``"named"`` (suite registry), a synthetic-tree kind
+    (``balanced``/``chain``/``wide``/``skewed``/``random``), or
+    ``"prog"`` (interpreter program).  ``name`` carries the suite or
+    program name; ``args`` the integer shape/program arguments.
+    """
+
+    kind: str
+    name: Optional[str] = None
+    args: Tuple[int, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "WorkloadSpec":
+        from repro.workloads.suite import WORKLOADS
+
+        text = str(text)
+        if text in WORKLOADS:
+            return cls("named", name=text)
+        kind, _, rest = text.partition(":")
+        if kind == "prog":
+            parts = rest.split(":") if rest else []
+            if not parts or not parts[0]:
+                raise SpecError(
+                    "prog workload needs a program name (prog:NAME:ARG:...)",
+                    spec=text, field="workload.prog", value=text, position=0,
+                )
+            from repro.lang.programs import PROGRAMS
+
+            if parts[0] not in PROGRAMS:
+                raise SpecError(
+                    f"unknown program {parts[0]!r}",
+                    spec=text, field="workload.prog", value=parts[0],
+                    allowed=tuple(sorted(PROGRAMS)), position=len("prog:"),
+                )
+            args = cls._parse_args(text, parts[1:], offset=len("prog:") + len(parts[0]) + 1)
+            return cls("prog", name=parts[0], args=args)
+        if kind in _TREE_ARITY or kind == "random":
+            parts = rest.split(":") if rest else []
+            args = cls._parse_args(text, parts, offset=len(kind) + 1)
+            lo, hi = _TREE_ARITY.get(kind, (2, 2))
+            if not (lo <= len(args) <= hi):
+                want = f"{lo}" if lo == hi else f"{lo}..{hi}"
+                raise SpecError(
+                    f"workload kind {kind!r} takes {want} integer args, got {len(args)}",
+                    spec=text, field=f"workload.{kind}", value=rest, position=len(kind) + 1,
+                )
+            return cls(kind, args=args)
+        raise SpecError(
+            f"unknown workload spec {text!r}",
+            spec=text, field="workload", value=text,
+            allowed=tuple(sorted(WORKLOADS))
+            + tuple(sorted(_TREE_ARITY)) + ("random", "prog"),
+            position=0,
+        )
+
+    @staticmethod
+    def _parse_args(text: str, parts: List[str], offset: int) -> Tuple[int, ...]:
+        args = []
+        for part in parts:
+            args.append(
+                _parse_int(part, spec=text, field_name="workload.args", position=offset)
+            )
+            offset += len(part) + 1
+        return tuple(args)
+
+    def to_spec_str(self) -> str:
+        if self.kind == "named":
+            return self.name  # type: ignore[return-value]
+        head = f"prog:{self.name}" if self.kind == "prog" else self.kind
+        return ":".join([head] + [str(a) for a in self.args])
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "args": list(self.args)}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "WorkloadSpec":
+        try:
+            candidate = cls(
+                kind=str(payload["kind"]),
+                name=payload.get("name"),
+                args=tuple(int(a) for a in payload.get("args", ())),
+            )
+            spec_str = candidate.to_spec_str()
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise SpecError(
+                f"malformed WorkloadSpec document: {exc!r}",
+                field="workload", value=payload,
+            ) from None
+        # Re-parsing the rendered form validates kind, registry names,
+        # and arity through the one grammar — a bad document fails here
+        # with a structured error instead of a raw KeyError at build().
+        parsed = cls.parse(spec_str)
+        if parsed != candidate:
+            raise SpecError(
+                f"inconsistent WorkloadSpec document (renders as {spec_str!r})",
+                field="workload", value=payload,
+            )
+        return parsed
+
+    def build(self) -> Tuple[Callable[[], Any], Optional[int]]:
+        """Resolve to ``(workload_factory, tree_size)``.
+
+        ``tree_size`` is the task count for synthetic trees (used by the
+        checkpoint-memory scenario) and ``None`` otherwise.
+        """
+        from repro.sim.workload import InterpWorkload, TreeWorkload
+        from repro.workloads import trees
+        from repro.workloads.suite import WORKLOADS
+
+        spec_str = self.to_spec_str()
+        if self.kind == "named":
+            return WORKLOADS[self.name], None
+        if self.kind == "prog":
+            from repro.lang.programs import get_program
+
+            name, args = self.name, self.args
+            return (
+                lambda: InterpWorkload(get_program(name, *args), name=spec_str)
+            ), None
+        if self.kind == "random":
+            seed, target = self.args
+            tree = trees.random_tree(seed=seed, target_tasks=target)
+        else:
+            builders = {
+                "balanced": trees.balanced_tree,
+                "chain": trees.chain_tree,
+                "wide": trees.wide_tree,
+                "skewed": trees.skewed_tree,
+            }
+            tree = builders[self.kind](*self.args)
+        return (lambda: TreeWorkload(tree, spec_str)), len(tree)
+
+
+# -- policy --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Which recovery policy runs the workload.
+
+    ``k`` is the replication factor and only meaningful for
+    ``replicated`` (``None`` means the policy default of 3).
+    """
+
+    name: str
+    k: Optional[int] = None
+
+    _SIMPLE = ("none", "rollback", "splice")
+
+    @classmethod
+    def parse(cls, text: str) -> "PolicySpec":
+        text = str(text)
+        name, sep, arg = text.partition(":")
+        if name == "replicated":
+            if not sep:
+                return cls("replicated")
+            k = _parse_int(arg, spec=text, field_name="policy.k", position=len(name) + 1)
+            return cls("replicated", k=k)
+        if name in cls._SIMPLE:
+            if sep:
+                raise SpecError(
+                    f"policy {name!r} takes no parameter",
+                    spec=text, field="policy", value=text, position=len(name),
+                )
+            return cls(name)
+        raise SpecError(
+            f"unknown policy spec {text!r}",
+            spec=text, field="policy", value=name,
+            allowed=cls._SIMPLE + ("replicated:K",), position=0,
+        )
+
+    def to_spec_str(self) -> str:
+        return f"{self.name}:{self.k}" if self.k is not None else self.name
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"name": self.name, "k": self.k}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "PolicySpec":
+        k = payload.get("k")
+        return cls(name=str(payload["name"]), k=None if k is None else int(k))
+
+    def build(self):
+        """Instantiate a fresh policy object.
+
+        Bare ``replicated`` (no ``:K``) leaves k unset so the policy
+        follows the machine's ``replication_factor`` — this is what
+        makes ``Experiment.replication(k)`` govern the replicated
+        policy as documented.
+        """
+        from repro.core import (
+            NoFaultTolerance,
+            ReplicatedExecution,
+            RollbackRecovery,
+            SpliceRecovery,
+        )
+
+        if self.name == "replicated":
+            return ReplicatedExecution(k=self.k)
+        return {
+            "none": NoFaultTolerance,
+            "rollback": RollbackRecovery,
+            "splice": SpliceRecovery,
+        }[self.name]()
+
+
+# -- fault schedule ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A fail-silent crash schedule: ``((when, node), ...)``.
+
+    ``mode`` fixes the meaning of ``when``: ``"frac"`` — a fraction of
+    the fault-free baseline makespan (the scenario-grid convention);
+    ``"time"`` — an absolute sim time (the ``repro run --fault``
+    convention).  The grammar is ``T:NODE+T:NODE``; both entry points
+    (CLI and point runners) parse through here, so malformed input
+    yields one structured diagnostic everywhere.
+    """
+
+    entries: Tuple[Tuple[float, int], ...] = ()
+    mode: str = "frac"
+
+    def __post_init__(self):
+        # An empty schedule has no times to interpret; normalizing its
+        # mode makes empty specs compare equal and round-trip exactly.
+        if not self.entries and self.mode != "frac":
+            object.__setattr__(self, "mode", "frac")
+
+    @classmethod
+    def parse(cls, text: str, mode: str = "frac") -> "FaultSpec":
+        text = str(text)
+        # A "time:"/"frac:" prefix makes the string form self-describing
+        # (to_spec_str emits it for non-default modes); it overrides the
+        # caller's default.
+        for prefix in ("time", "frac"):
+            if text.startswith(prefix + ":"):
+                mode = prefix
+                text = text[len(prefix) + 1:]
+                break
+        if mode not in ("frac", "time"):
+            raise SpecError(
+                f"unknown fault mode {mode!r}",
+                field="faults.mode", value=mode, allowed=("frac", "time"),
+            )
+        if not text:
+            return cls((), mode)
+        entries: List[Tuple[float, int]] = []
+        offset = 0
+        for item in text.split("+"):
+            when_str, sep, node_str = item.partition(":")
+            if not sep or not when_str or not node_str:
+                raise SpecError(
+                    f"fault must be {'TIME' if mode == 'time' else 'FRAC'}:NODE "
+                    f"(e.g. {'600:2' if mode == 'time' else '0.5:1'}), got {item!r}",
+                    spec=text, field="faults", value=item, position=offset,
+                )
+            when = _parse_float(
+                when_str, spec=text, field_name="faults.when", position=offset
+            )
+            node = _parse_int(
+                node_str, spec=text, field_name="faults.node",
+                position=offset + len(when_str) + 1,
+            )
+            entries.append((when, node))
+            offset += len(item) + 1
+        return cls(tuple(entries), mode)
+
+    def to_spec_str(self) -> str:
+        body = "+".join(f"{_fmt_num(when)}:{node}" for when, node in self.entries)
+        return body if self.mode == "frac" else f"{self.mode}:{body}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"mode": self.mode, "entries": [[when, node] for when, node in self.entries]}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        try:
+            return cls(
+                tuple(
+                    (float(when), int(node)) for when, node in payload.get("entries", ())
+                ),
+                str(payload.get("mode", "frac")),
+            )
+        except SpecError:
+            raise
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise SpecError(
+                f"malformed FaultSpec document: {exc}", field="faults", value=payload
+            ) from None
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def schedule(self, base_makespan: Optional[float] = None):
+        """Build the :class:`~repro.sim.failure.FaultSchedule`.
+
+        Fraction-mode entries are placed at ``max(1.0, frac * base)``
+        exactly as the historical point runners did.
+        """
+        from repro.sim.failure import Fault, FaultSchedule
+
+        if not self.entries:
+            return FaultSchedule.none()
+        if self.mode == "time":
+            return FaultSchedule.of(*(Fault(when, node) for when, node in self.entries))
+        if base_makespan is None:
+            raise SpecError(
+                "fraction-mode fault schedule needs a baseline makespan",
+                field="faults.mode", value=self.mode,
+            )
+        return FaultSchedule.of(
+            *(Fault(max(1.0, when * base_makespan), node) for when, node in self.entries)
+        )
+
+
+# -- nemesis -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NemesisClause:
+    """One fault-model clause: model name + the explicitly-given params.
+
+    ``params`` keeps only what the spec named (defaults are left to the
+    registry), ordered canonically by the model's parameter declaration
+    order.  Values are typed: float, int, or a node tuple.
+    """
+
+    model: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def to_spec_str(self) -> str:
+        if not self.params:
+            return self.model
+        body = ",".join(
+            f"{key}={'-'.join(str(n) for n in value) if isinstance(value, tuple) else _fmt_num(value)}"
+            for key, value in self.params
+        )
+        return f"{self.model}:{body}"
+
+
+@dataclass(frozen=True)
+class NemesisSpec:
+    """A composition of fault models: ``model:k=v,...+model:k=v,...``.
+
+    Parsing validates names, parameter names, value types, and required
+    parameters against the fault-model registry but stores *unscaled*
+    values; :meth:`build` applies the baseline-makespan scaling to
+    fraction (``×T``) parameters and arms the models.
+    """
+
+    clauses: Tuple[NemesisClause, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "NemesisSpec":
+        from repro.faults.registry import all_models, get_model
+
+        text = str(text).strip()
+        if not text:
+            return cls(())
+        clauses: List[NemesisClause] = []
+        offset = 0
+        for clause_text in text.split("+"):
+            name, _, rest = clause_text.partition(":")
+            name = name.strip()
+            try:
+                info = get_model(name)
+            except KeyError:
+                raise SpecError(
+                    f"unknown fault model {name!r}",
+                    spec=text, field="nemesis.model", value=name,
+                    allowed=tuple(sorted(all_models())), position=offset,
+                ) from None
+            given: Dict[str, Any] = {}
+            item_offset = offset + len(name) + 1
+            if rest:
+                for item in rest.split(","):
+                    key, eq, raw = item.partition("=")
+                    key = key.strip()
+                    if not eq or key not in info.params:
+                        raise SpecError(
+                            f"unknown parameter {item!r} for fault model {name!r}; "
+                            f"expected {sorted(info.params)}",
+                            spec=text, field=f"nemesis.{name}", value=item,
+                            allowed=tuple(sorted(info.params)), position=item_offset,
+                        )
+                    given[key] = cls._parse_value(
+                        text, name, key, raw.strip(), info.params[key].kind,
+                        position=item_offset + len(key) + 1,
+                    )
+                    item_offset += len(item) + 1
+            missing = [
+                k for k, p in info.params.items() if p.default is None and k not in given
+            ]
+            if missing:
+                raise SpecError(
+                    f"fault model {name!r} missing parameters: {missing}",
+                    spec=text, field=f"nemesis.{name}", value=clause_text,
+                    position=offset,
+                )
+            ordered = tuple((k, given[k]) for k in info.params if k in given)
+            clauses.append(NemesisClause(name, ordered))
+            offset += len(clause_text) + 1
+        return cls(tuple(clauses))
+
+    @staticmethod
+    def _parse_value(spec: str, model: str, key: str, raw: str, kind: str, position: int):
+        try:
+            if kind == "nodes":
+                return tuple(int(part) for part in raw.split("-"))
+            if kind in ("int", "flag"):
+                return int(raw)
+            return float(raw)
+        except ValueError:
+            raise SpecError(
+                f"bad value {raw!r} for {model}:{key} (expected {kind})",
+                spec=spec, field=f"nemesis.{model}.{key}", value=raw,
+                position=position,
+            ) from None
+
+    def to_spec_str(self) -> str:
+        return "+".join(clause.to_spec_str() for clause in self.clauses)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "clauses": [
+                {
+                    "model": c.model,
+                    "params": {
+                        k: (list(v) if isinstance(v, tuple) else v) for k, v in c.params
+                    },
+                }
+                for c in self.clauses
+            ]
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "NemesisSpec":
+        from repro.faults.registry import all_models, get_model
+
+        try:
+            entries = list(payload.get("clauses", ()))
+        except AttributeError:
+            raise SpecError(
+                "malformed NemesisSpec document (expected an object with 'clauses')",
+                field="nemesis", value=payload,
+            ) from None
+        clauses = []
+        for entry in entries:
+            try:
+                model_name = str(entry["model"])
+            except (TypeError, KeyError):
+                raise SpecError(
+                    f"malformed nemesis clause {entry!r} (expected an object "
+                    "with 'model')",
+                    field="nemesis", value=entry,
+                ) from None
+            try:
+                info = get_model(model_name)
+            except KeyError:
+                raise SpecError(
+                    f"unknown fault model {model_name!r}",
+                    field="nemesis.model", value=model_name,
+                    allowed=tuple(sorted(all_models())),
+                ) from None
+            given = {}
+            for key, value in entry.get("params", {}).items():
+                if key not in info.params:
+                    raise SpecError(
+                        f"unknown parameter {key!r} for fault model {info.name!r}",
+                        field=f"nemesis.{info.name}", value=key,
+                        allowed=tuple(sorted(info.params)),
+                    )
+                kind = info.params[key].kind
+                try:
+                    if kind == "nodes":
+                        given[key] = tuple(int(n) for n in value)
+                    elif kind in ("int", "flag"):
+                        given[key] = int(value)
+                    else:
+                        given[key] = float(value)
+                except (TypeError, ValueError):
+                    raise SpecError(
+                        f"bad value {value!r} for {info.name}:{key} (expected {kind})",
+                        field=f"nemesis.{info.name}.{key}", value=value,
+                    ) from None
+            ordered = tuple((k, given[k]) for k in info.params if k in given)
+            clauses.append(NemesisClause(info.name, ordered))
+        return cls(tuple(clauses))
+
+    def __bool__(self) -> bool:
+        return bool(self.clauses)
+
+    def build(self, base_makespan: float = 1.0):
+        """Arm the composition into a fresh ``NemesisSchedule``.
+
+        ``base_makespan`` scales fraction-valued (``×T``) parameters, so
+        specs stay workload-relative exactly like ``fault_frac``.
+        """
+        from repro.faults.model import NemesisSchedule
+        from repro.faults.registry import get_model
+
+        if not self.clauses:
+            return NemesisSchedule.none()
+        models = []
+        for clause in self.clauses:
+            info = get_model(clause.model)
+            kwargs = {
+                key: (value * base_makespan if info.params[key].fraction else value)
+                for key, value in clause.params
+            }
+            models.append(info.build(**kwargs))
+        return NemesisSchedule.of(*models)
+
+
+# -- machine -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """The simulated multiprocessor: shape, routing, scheduling, costs.
+
+    ``cost`` holds only explicit :class:`~repro.config.CostModel`
+    overrides, as a sorted tuple of ``(field, value)`` pairs so the spec
+    stays hashable and canonically ordered.
+    """
+
+    processors: int = 4
+    topology: str = "complete"
+    scheduler: str = "gradient"
+    replication: int = 3
+    cost: Tuple[Tuple[str, float], ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "MachineSpec":
+        text = str(text).strip()
+        kwargs: Dict[str, Any] = {}
+        cost: Dict[str, float] = {}
+        offset = 0
+        for item in (text.split(",") if text else ()):
+            key, eq, raw = item.partition("=")
+            key = key.strip()
+            raw = raw.strip()
+            if not eq:
+                raise SpecError(
+                    f"machine spec items are KEY=VALUE, got {item!r}",
+                    spec=text, field="machine", value=item, position=offset,
+                )
+            value_pos = offset + len(key) + 1
+            if key.startswith("cost."):
+                cost_field = key[len("cost."):]
+                if cost_field not in _COST_FIELDS:
+                    raise SpecError(
+                        f"unknown cost field {cost_field!r}",
+                        spec=text, field="machine.cost", value=cost_field,
+                        allowed=_COST_FIELDS, position=offset,
+                    )
+                cost[cost_field] = _parse_float(
+                    raw, spec=text, field_name=key, position=value_pos
+                )
+            elif key == "processors" or key == "replication":
+                kwargs[key] = _parse_int(
+                    raw, spec=text, field_name=f"machine.{key}", position=value_pos
+                )
+            elif key == "topology":
+                if raw not in TOPOLOGIES:
+                    raise SpecError(
+                        f"unknown topology {raw!r}",
+                        spec=text, field="machine.topology", value=raw,
+                        allowed=TOPOLOGIES, position=value_pos,
+                    )
+                kwargs[key] = raw
+            elif key == "scheduler":
+                if raw not in SCHEDULERS:
+                    raise SpecError(
+                        f"unknown scheduler {raw!r}",
+                        spec=text, field="machine.scheduler", value=raw,
+                        allowed=SCHEDULERS, position=value_pos,
+                    )
+                kwargs[key] = raw
+            else:
+                raise SpecError(
+                    f"unknown machine field {key!r}",
+                    spec=text, field="machine", value=key,
+                    allowed=("processors", "topology", "scheduler", "replication", "cost.NAME"),
+                    position=offset,
+                )
+            offset += len(item) + 1
+        return cls(cost=tuple(sorted(cost.items())), **kwargs)
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "MachineSpec":
+        """The scenario-grid shim: plain JSON params -> MachineSpec."""
+        cost = params.get("cost", {})
+        if not isinstance(cost, Mapping):
+            raise SpecError(
+                f"machine cost must be a mapping of field -> value, got {cost!r}",
+                field="machine.cost", value=cost,
+            )
+        unknown = sorted(set(cost) - set(_COST_FIELDS))
+        if unknown:
+            raise SpecError(
+                f"unknown cost fields {unknown}",
+                field="machine.cost", value=unknown, allowed=_COST_FIELDS,
+            )
+        coerced = {}
+        for name, value in cost.items():
+            try:
+                coerced[name] = float(value)
+            except (TypeError, ValueError):
+                raise SpecError(
+                    f"bad value {value!r} for cost.{name} (expected float)",
+                    field=f"machine.cost.{name}", value=value,
+                ) from None
+        try:
+            return cls(
+                processors=int(params.get("processors", 4)),
+                topology=str(params.get("topology", "complete")),
+                scheduler=str(params.get("scheduler", "gradient")),
+                replication=int(params.get("replication", 3)),
+                cost=tuple(sorted(coerced.items())),
+            )
+        except (TypeError, ValueError) as exc:
+            raise SpecError(
+                f"malformed machine parameters: {exc}", field="machine", value=dict(params),
+            ) from None
+
+    def to_spec_str(self) -> str:
+        default = MachineSpec()
+        parts = []
+        for key in ("processors", "topology", "scheduler", "replication"):
+            if getattr(self, key) != getattr(default, key):
+                parts.append(f"{key}={getattr(self, key)}")
+        parts.extend(f"cost.{name}={_fmt_num(value)}" for name, value in self.cost)
+        return ",".join(parts)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "processors": self.processors,
+            "topology": self.topology,
+            "scheduler": self.scheduler,
+            "replication": self.replication,
+            "cost": dict(self.cost),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "MachineSpec":
+        # Unlike from_params (which shares a namespace with the run-level
+        # grid params), a machine JSON document owns its whole object, so
+        # a typo'd key must not silently fall back to a default.
+        unknown = sorted(
+            set(payload) - {"processors", "topology", "scheduler", "replication", "cost"}
+        )
+        if unknown:
+            raise SpecError(
+                f"unknown machine field(s) {unknown}",
+                field="machine", value=unknown,
+                allowed=("processors", "topology", "scheduler", "replication", "cost"),
+            )
+        return cls.from_params(payload)
+
+    def to_config(self, seed: int) -> SimConfig:
+        """Build the live ``SimConfig`` (the seed lives on the RunSpec)."""
+        return SimConfig(
+            n_processors=self.processors,
+            topology=self.topology,
+            scheduler=self.scheduler,
+            seed=int(seed),
+            cost=CostModel(**dict(self.cost)),
+            replication_factor=self.replication,
+        )
+
+
+# -- the composed run ----------------------------------------------------------
+
+#: Parameter keys the ``machine`` point runner understands; anything else
+#: in a scenario grid is a typo and is rejected with a SpecError.
+_RUN_PARAM_KEYS = frozenset(
+    {
+        "workload", "policy", "seed", "processors", "topology", "scheduler",
+        "replication", "cost", "faults", "fault_frac", "victim", "nemesis",
+        "base_policy", "speedup_base_processors",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One complete, canonical experiment description.
+
+    A RunSpec is everything a run needs and nothing more: workload,
+    policy, machine, seed, fault schedule, nemesis, plus the two
+    baseline knobs (``base_policy`` anchors fraction-mode fault
+    placement; ``speedup_base_processors`` requests a speedup
+    comparison).  It is frozen, equality-comparable, and serializes to
+    the canonical JSON document the sweep cache keys on.
+    """
+
+    workload: WorkloadSpec
+    policy: PolicySpec = field(default_factory=lambda: PolicySpec("rollback"))
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    seed: int = 0
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    nemesis: NemesisSpec = field(default_factory=NemesisSpec)
+    base_policy: Optional[PolicySpec] = None
+    speedup_base_processors: Optional[int] = None
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "RunSpec":
+        """Parse a scenario-grid parameter dict (the legacy point shape).
+
+        This is the shim every string-keyed consumer funnels through:
+        ``fault_frac``/``victim`` fold into the fault schedule, string
+        grammars parse into their typed specs, and unknown keys are
+        rejected with a structured diagnostic.
+        """
+        unknown = sorted(set(params) - _RUN_PARAM_KEYS)
+        if unknown:
+            raise SpecError(
+                f"unknown run parameter(s) {unknown}",
+                field="params", value=unknown, allowed=tuple(sorted(_RUN_PARAM_KEYS)),
+            )
+        if "workload" not in params:
+            raise SpecError("run parameters need a 'workload'", field="workload")
+        if "seed" not in params:
+            raise SpecError("run parameters need a 'seed'", field="seed")
+        faults = FaultSpec.parse(str(params.get("faults", "")), mode="frac")
+        if params.get("fault_frac") is not None:
+            if faults.entries and faults.mode != "frac":
+                raise SpecError(
+                    "cannot combine a time-mode 'faults' schedule with fault_frac",
+                    field="faults.mode", value=faults.mode, allowed=("frac",),
+                )
+            faults = FaultSpec(
+                faults.entries
+                + ((float(params["fault_frac"]), int(params.get("victim", 1))),),
+                "frac",
+            )
+        base_policy = params.get("base_policy")
+        sbp = params.get("speedup_base_processors")
+        return cls(
+            workload=WorkloadSpec.parse(str(params["workload"])),
+            policy=PolicySpec.parse(str(params.get("policy", "rollback"))),
+            machine=MachineSpec.from_params(params),
+            seed=int(params["seed"]),
+            faults=faults,
+            nemesis=NemesisSpec.parse(str(params.get("nemesis", "") or "")),
+            base_policy=PolicySpec.parse(str(base_policy)) if base_policy else None,
+            speedup_base_processors=None if sbp is None else int(sbp),
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        """The canonical JSON document (round-trips via :meth:`from_json`)."""
+        return {
+            "schema": RUNSPEC_SCHEMA,
+            "workload": self.workload.to_spec_str(),
+            "policy": self.policy.to_spec_str(),
+            "machine": self.machine.to_json(),
+            "seed": self.seed,
+            "faults": {"mode": self.faults.mode, "schedule": self.faults.to_spec_str()},
+            "nemesis": self.nemesis.to_spec_str(),
+            "base_policy": self.base_policy.to_spec_str() if self.base_policy else None,
+            "speedup_base_processors": self.speedup_base_processors,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "RunSpec":
+        doc_keys = (
+            "schema", "workload", "policy", "machine", "seed", "faults",
+            "nemesis", "base_policy", "speedup_base_processors",
+        )
+        try:
+            schema = payload.get("schema")
+            if schema != RUNSPEC_SCHEMA:
+                raise SpecError(
+                    f"unknown RunSpec schema {schema!r}",
+                    field="schema", value=schema, allowed=(RUNSPEC_SCHEMA,),
+                )
+            unknown = sorted(set(payload) - set(doc_keys))
+            if unknown:
+                raise SpecError(
+                    f"unknown RunSpec field(s) {unknown}",
+                    field="json", value=unknown, allowed=doc_keys,
+                )
+            faults_doc = payload.get("faults", {})
+            doc_mode = str(faults_doc.get("mode", "frac"))
+            faults = FaultSpec.parse(str(faults_doc.get("schedule", "")), mode=doc_mode)
+            if faults.entries and faults.mode != doc_mode:
+                # the schedule string's "time:"/"frac:" prefix would
+                # otherwise silently override the document's mode field
+                raise SpecError(
+                    f"faults mode {doc_mode!r} disagrees with the schedule's "
+                    f"{faults.mode!r} prefix",
+                    field="faults.mode", value=doc_mode, allowed=(faults.mode,),
+                )
+            base_policy = payload.get("base_policy")
+            sbp = payload.get("speedup_base_processors")
+            return cls(
+                workload=WorkloadSpec.parse(str(payload["workload"])),
+                policy=PolicySpec.parse(str(payload.get("policy", "rollback"))),
+                machine=MachineSpec.from_json(payload.get("machine", {})),
+                seed=int(payload.get("seed", 0)),
+                faults=faults,
+                nemesis=NemesisSpec.parse(str(payload.get("nemesis", "") or "")),
+                base_policy=PolicySpec.parse(str(base_policy)) if base_policy else None,
+                speedup_base_processors=None if sbp is None else int(sbp),
+            )
+        except SpecError:
+            raise
+        except (KeyError, TypeError, AttributeError, ValueError) as exc:
+            # a hand-edited or truncated document: one structured error,
+            # never a raw KeyError/AttributeError traceback
+            raise SpecError(
+                f"malformed RunSpec document: {exc!r}", field="json", value=exc,
+            ) from None
+
+    def canonical_json(self) -> str:
+        """Canonical text rendering (sorted keys, two-space indent)."""
+        from repro.util.jsonio import canonical_dumps
+
+        return canonical_dumps(self.to_json())
+
+    def config(self) -> SimConfig:
+        """The live ``SimConfig`` for this run."""
+        return self.machine.to_config(self.seed)
+
+    def validate(self) -> "RunSpec":
+        """Cross-field checks beyond per-spec grammar validation."""
+        try:
+            self.config().validate()
+        except ValueError as exc:
+            raise SpecError(str(exc), field="machine") from None
+        for _, node in self.faults.entries:
+            if not (0 <= node < self.machine.processors):
+                raise SpecError(
+                    f"fault targets unknown processor {node}",
+                    field="faults.node", value=node,
+                    allowed=tuple(range(self.machine.processors)),
+                )
+        if self.nemesis:
+            # Instantiate against a unit baseline purely for model-level
+            # validation (probability ranges, node membership).
+            try:
+                for model in self.nemesis.build(1.0):
+                    model.validate(self.machine.processors)
+            except ValueError as exc:
+                raise SpecError(str(exc), field="nemesis") from None
+        if self.speedup_base_processors is not None and self.speedup_base_processors < 1:
+            raise SpecError(
+                "speedup_base_processors must be >= 1",
+                field="speedup_base_processors", value=self.speedup_base_processors,
+            )
+        return self

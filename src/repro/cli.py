@@ -3,23 +3,30 @@
     python -m repro list
     python -m repro run fib-10 --policy splice --processors 4 \\
         --fault 600:2 --fault 900:1 --seed 7 --trace
+    python -m repro run balanced:4:2:30 --nemesis partition:start=0.3,dur=0.25,group=0-1
+    python -m repro run fib-10 --policy splice --dry-run
+    python -m repro run --spec-json spec.json
     python -m repro figures
     python -m repro exp list
     python -m repro exp run rollback-vs-splice --workers 4
+    python -m repro exp show chaos-storm --json
     python -m repro faults list
     python -m repro faults describe partition
     python -m repro perf run --quick
     python -m repro perf compare BENCH_core.json
 
-``run`` executes a named workload under a policy with optional fault
-injection and prints the run summary (and optionally the recovery trace);
-``figures`` regenerates every paper figure; ``list`` shows the available
-workload and policy names.  The ``exp`` subcommands drive the scenario
-registry (:mod:`repro.exp`): ``exp list`` shows every registered
-scenario, ``exp show`` prints one spec's axes and parameters, and ``exp
-run`` executes a sweep with process-pool fan-out and on-disk result
-caching (see ``docs/SCENARIOS.md``).  The ``faults`` subcommands drive
-the fault-model registry (:mod:`repro.faults`): ``faults list`` shows
+``run`` builds one canonical :class:`~repro.api.RunSpec` from its flags
+(or loads one with ``--spec-json FILE``), then executes it and prints
+the run summary (and optionally the recovery trace); ``--dry-run``
+prints the resolved canonical spec JSON without running.  ``figures``
+regenerates every paper figure; ``list`` shows the available workload
+and policy names.  The ``exp`` subcommands drive the scenario registry
+(:mod:`repro.exp`): ``exp list`` shows every registered scenario, ``exp
+show`` prints one spec's axes and parameters (``--json`` emits the
+fully-expanded RunSpec list), and ``exp run`` executes a sweep with
+process-pool fan-out and on-disk result caching (see
+``docs/SCENARIOS.md``).  The ``faults`` subcommands drive the
+fault-model registry (:mod:`repro.faults`): ``faults list`` shows
 every registered nemesis model and ``faults describe`` one model's
 parameters and spec grammar (see ``docs/FAULTS.md``).  The ``perf``
 subcommands drive the
@@ -27,6 +34,10 @@ benchmark subsystem (:mod:`repro.perf`): ``perf list`` shows the
 registered benchmarks, ``perf run`` measures them into canonical JSON
 (``BENCH_core.json``), and ``perf compare`` gates a fresh run against a
 committed baseline (see ``docs/PERFORMANCE.md``).
+
+Spec failures exit with code 2 and a one-line structured diagnostic
+(the offending token, the allowed values, and its position) rather than
+a traceback — see :class:`~repro.errors.SpecError`.
 """
 
 from __future__ import annotations
@@ -35,24 +46,15 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.config import SimConfig
-from repro.core import (
-    NoFaultTolerance,
-    ReplicatedExecution,
-    RollbackRecovery,
-    SpliceRecovery,
-)
-from repro.sim import Fault, FaultSchedule
-from repro.sim.machine import run_simulation
+from repro.api import Experiment, FaultSpec, PolicySpec, RunSpec, Session
+from repro.api.specs import SCHEDULERS, TOPOLOGIES
+from repro.errors import ReproError, SpecError
 from repro.util.tables import format_table
-from repro.workloads.suite import WORKLOADS, get_workload
+from repro.workloads.suite import WORKLOADS
 
-POLICIES = {
-    "none": NoFaultTolerance,
-    "rollback": RollbackRecovery,
-    "splice": SpliceRecovery,
-    "replicated": ReplicatedExecution,
-}
+#: argparse choices mirror the spec layer's allowed values, so adding a
+#: policy/topology/scheduler in repro.api is enough for the CLI.
+POLICIES = PolicySpec._SIMPLE + ("replicated",)
 
 TRACE_KINDS = (
     "node_failed",
@@ -65,14 +67,30 @@ TRACE_KINDS = (
 )
 
 
-def _parse_fault(text: str) -> Fault:
+def _parse_fault(text: str):
+    """One ``TIME:NODE`` flag value, via the shared FaultSpec grammar.
+
+    Argparse renders type errors cleanly, so the SpecError message is
+    re-raised verbatim as an ArgumentTypeError — the diagnostic is
+    byte-identical to what the programmatic API raises.
+    """
+    from repro.sim import Fault
+
     try:
-        time_str, node_str = text.split(":", 1)
-        return Fault(float(time_str), int(node_str))
-    except (ValueError, TypeError) as exc:
+        spec = FaultSpec.parse(text, mode="time")
+    except SpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    if spec.mode != "time":
+        # a "frac:" prefix would silently turn the fraction into an
+        # absolute sim time; fractions belong to scenario grids
         raise argparse.ArgumentTypeError(
-            f"fault must be TIME:NODE (e.g. 600:2), got {text!r}"
-        ) from exc
+            f"--fault takes absolute TIME:NODE, not {text!r}"
+        )
+    if len(spec.entries) != 1:
+        raise argparse.ArgumentTypeError(
+            f"one fault per --fault flag (repeat the flag), got {text!r}"
+        )
+    return Fault(*spec.entries[0])
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,21 +104,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("figures", help="regenerate every paper figure")
 
     run = sub.add_parser("run", help="run a workload on the simulated machine")
-    run.add_argument("workload", help="workload name (see `repro list`)")
-    run.add_argument("--policy", choices=sorted(POLICIES), default="rollback")
-    run.add_argument("--processors", type=int, default=4)
     run.add_argument(
-        "--topology",
-        choices=("complete", "ring", "mesh", "hypercube", "star"),
-        default="complete",
+        "workload",
+        nargs="?",
+        default=None,
+        help=(
+            "workload spec: a name from `repro list` or a spec string "
+            "(balanced:DEPTH:FANOUT:WORK, prog:NAME:ARG:..., ...)"
+        ),
+    )
+    # Run-shaping flags default to None sentinels: _runspec_from_args
+    # fills in the real defaults (rollback / 4 / complete / gradient /
+    # 0 / 3), and *any* explicitly-given flag — even at its default
+    # value — conflicts with --spec-json.
+    run.add_argument(
+        "--policy", choices=POLICIES, default=None, help="default: rollback"
+    )
+    run.add_argument("--processors", type=int, default=None, help="default: 4")
+    run.add_argument(
+        "--topology", choices=TOPOLOGIES, default=None, help="default: complete"
     )
     run.add_argument(
-        "--scheduler",
-        choices=("gradient", "random", "round_robin", "local", "static"),
-        default="gradient",
+        "--scheduler", choices=SCHEDULERS, default=None, help="default: gradient"
     )
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--replication", type=int, default=3, help="k for --policy replicated")
+    run.add_argument("--seed", type=int, default=None, help="default: 0")
+    run.add_argument(
+        "--replication", type=int, default=None,
+        help="k for --policy replicated (default: 3)",
+    )
     run.add_argument(
         "--fault",
         type=_parse_fault,
@@ -109,6 +140,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TIME:NODE",
         help="kill NODE at TIME (repeatable)",
     )
+    run.add_argument(
+        "--nemesis",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fault-model composition, e.g. "
+            "'partition:start=0.3,dur=0.25,group=0-1' (see `repro faults list`; "
+            "×T params are fractions of the fault-free baseline makespan)"
+        ),
+    )
+    run.add_argument(
+        "--spec-json",
+        default=None,
+        metavar="FILE",
+        help="load the RunSpec from a canonical JSON document ('-' = stdin) "
+        "instead of building it from flags",
+    )
+    run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resolved canonical RunSpec JSON and exit without running",
+    )
     run.add_argument("--trace", action="store_true", help="print recovery trace")
 
     exp = sub.add_parser("exp", help="scenario registry: declarative sweeps")
@@ -116,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp_sub.add_parser("list", help="list registered scenarios")
     exp_show = exp_sub.add_parser("show", help="print one scenario's spec")
     exp_show.add_argument("scenario", help="scenario name (see `repro exp list`)")
+    exp_show.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the fully-expanded point list (with canonical RunSpecs "
+        "for machine scenarios) as canonical JSON",
+    )
     exp_run = exp_sub.add_parser("run", help="run a scenario sweep")
     exp_run.add_argument("scenario", help="scenario name (see `repro exp list`)")
     exp_run.add_argument(
@@ -201,7 +260,7 @@ def cmd_list(out) -> int:
     print(
         format_table(
             ["policy", "class"],
-            [[n, cls.__name__] for n, cls in sorted(POLICIES.items())],
+            [[n, type(PolicySpec.parse(n).build()).__name__] for n in sorted(POLICIES)],
             title="Policies",
         ),
         file=out,
@@ -221,37 +280,92 @@ def cmd_figures(out) -> int:
     return status
 
 
+def _runspec_from_args(args) -> RunSpec:
+    """Resolve the ``repro run`` flags (or --spec-json) into a RunSpec."""
+    import json as _json
+
+    if args.spec_json is not None:
+        if args.workload is not None:
+            raise SpecError(
+                "--spec-json replaces the workload argument; give one or the other",
+                field="workload", value=args.workload,
+            )
+        # The document is the whole experiment: silently overlaying (or
+        # worse, ignoring) flag-level overrides would run a different
+        # spec than the one named, so any explicitly-given run-shaping
+        # flag — even at its default value — is an error.
+        overridden = [
+            flag
+            for flag, given in (
+                ("--policy", args.policy),
+                ("--processors", args.processors),
+                ("--topology", args.topology),
+                ("--scheduler", args.scheduler),
+                ("--seed", args.seed),
+                ("--replication", args.replication),
+                ("--fault", args.fault or None),
+                ("--nemesis", args.nemesis),
+            )
+            if given is not None
+        ]
+        if overridden:
+            raise SpecError(
+                f"--spec-json carries the whole experiment; drop {', '.join(overridden)} "
+                "or edit the JSON document instead",
+                field="spec-json", value=overridden,
+            )
+        try:
+            if args.spec_json == "-":
+                payload = _json.load(sys.stdin)
+            else:
+                with open(args.spec_json, "r", encoding="utf-8") as fh:
+                    payload = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise SpecError(
+                f"cannot read RunSpec JSON from {args.spec_json}: {exc}",
+                field="spec-json", value=args.spec_json,
+            ) from None
+        return RunSpec.from_json(payload).validate()
+    if args.workload is None:
+        raise SpecError(
+            "a workload (or --spec-json FILE) is required", field="workload"
+        )
+    # Only explicitly-given flags reach the builder; the defaults are
+    # owned by Experiment/MachineSpec in repro.api, not restated here.
+    # Bare `replicated` defers k to the machine's replication factor,
+    # so --replication governs it without a special case.
+    builder = Experiment().workload(args.workload)
+    for flag, setter in (
+        (args.policy, builder.policy),
+        (args.processors, builder.processors),
+        (args.topology, builder.topology),
+        (args.scheduler, builder.scheduler),
+        (args.replication, builder.replication),
+        (args.seed, builder.seed),
+        (args.nemesis, builder.nemesis),
+    ):
+        if flag is not None:
+            setter(flag)
+    for fault in args.fault:
+        builder.fault(fault.time, fault.node, mode="time")
+    return builder.build()
+
+
 def cmd_run(args, out) -> int:
     try:
-        workload = get_workload(args.workload)
-    except KeyError as exc:
+        spec = _runspec_from_args(args)
+    except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    config = SimConfig(
-        n_processors=args.processors,
-        topology=args.topology,
-        scheduler=args.scheduler,
-        seed=args.seed,
-        replication_factor=args.replication,
-    )
+    if args.dry_run:
+        print(spec.canonical_json(), file=out, end="")
+        return 0
     try:
-        config.validate()
-    except ValueError as exc:
+        handle = Session(collect_trace=True).run(spec)
+    except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    policy = (
-        ReplicatedExecution(k=args.replication)
-        if args.policy == "replicated"
-        else POLICIES[args.policy]()
-    )
-    faults = FaultSchedule.of(*args.fault)
-    for fault in faults:
-        if fault.node >= args.processors:
-            print(f"error: fault targets unknown processor {fault.node}", file=sys.stderr)
-            return 2
-    result = run_simulation(
-        workload, config, policy=policy, faults=faults, collect_trace=True
-    )
+    result = handle.result
     print(result.summary(), file=out)
     metrics_rows = result.metrics.summary_rows()
     print(format_table(["metric", "value"], metrics_rows), file=out)
@@ -259,7 +373,8 @@ def cmd_run(args, out) -> int:
         print("\nRecovery trace:", file=out)
         text = result.trace.render(kinds=TRACE_KINDS)
         print(text if text else "  (no recovery events)", file=out)
-    return 0 if result.correct or (not faults and result.completed) else 1
+    injected = bool(spec.faults) or bool(spec.nemesis)
+    return 0 if result.correct or (not injected and result.completed) else 1
 
 
 def cmd_exp_list(out) -> int:
@@ -284,6 +399,42 @@ def cmd_exp_show(args, out) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    try:
+        return _render_exp_show(spec, args, out, expand)
+    except ReproError as exc:
+        # a malformed registered spec (e.g. a typo'd param in a
+        # user-registered scenario) gets the one-line treatment too
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _render_exp_show(spec, args, out, expand) -> int:
+    if args.json:
+        from repro.exp import expanded_runspecs
+        from repro.util.jsonio import canonical_dumps
+
+        # one grid expansion + parse serves both the key and the points
+        docs = expanded_runspecs(spec) if spec.runner == "machine" else None
+        points = []
+        for point in expand(spec):
+            entry = {
+                "index": point.index,
+                "seed": point.seed,
+                "params": dict(point.params),
+            }
+            if docs is not None:
+                entry["runspec"] = docs[point.index]
+            points.append(entry)
+        payload = {
+            "scenario": spec.name,
+            "title": spec.title,
+            "runner": spec.runner,
+            "key": spec.key(),
+            "n_points": spec.n_points(),
+            "points": points,
+        }
+        print(canonical_dumps(payload), file=out, end="")
+        return 0
     print(f"{spec.name}: {spec.title}", file=out)
     print(f"  runner:  {spec.runner}   points: {spec.n_points()}   key: {spec.key()}", file=out)
     print(f"  {spec.description}", file=out)
@@ -307,12 +458,16 @@ def cmd_exp_run(args, out) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    sweep = run_scenario(
-        spec,
-        workers=args.workers,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        force=args.force,
-    )
+    try:
+        sweep = run_scenario(
+            spec,
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            force=args.force,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(sweep.to_json(), file=out, end="")
     else:

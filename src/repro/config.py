@@ -16,6 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+#: The canonical allowed values — SimConfig.validate, the spec layer
+#: (repro.api), and the CLI argparse choices all read these, so adding
+#: a topology/scheduler here is enough for every surface.
+TOPOLOGIES = ("complete", "ring", "mesh", "hypercube", "star")
+SCHEDULERS = ("gradient", "random", "round_robin", "local", "static")
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -86,9 +92,9 @@ class SimConfig:
         """Raise ``ValueError`` for configurations the machine rejects."""
         if self.n_processors < 1:
             raise ValueError("n_processors must be >= 1")
-        if self.topology not in ("complete", "ring", "mesh", "hypercube", "star"):
+        if self.topology not in TOPOLOGIES:
             raise ValueError(f"unknown topology: {self.topology!r}")
-        if self.scheduler not in ("gradient", "random", "round_robin", "local", "static"):
+        if self.scheduler not in SCHEDULERS:
             raise ValueError(f"unknown scheduler: {self.scheduler!r}")
         if self.replication_factor < 1:
             raise ValueError("replication_factor must be >= 1")

@@ -13,6 +13,54 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
 
+class SpecError(ReproError, ValueError):
+    """Raised when an experiment spec string or document is malformed.
+
+    Every spec grammar in the repo (workloads, policies, fault schedules,
+    nemesis compositions, machine shapes, RunSpec JSON) reports failures
+    through this one type so callers get a uniform, structured diagnostic
+    instead of a raw ``ValueError``/``KeyError`` from deep inside a
+    builder.  Subclasses ``ValueError`` so legacy ``except ValueError``
+    call sites (and argparse type handlers) keep working.
+
+    Structured fields (any may be ``None`` when unknown):
+
+    ``spec``
+        The full spec string (or a JSON summary) being parsed.
+    ``field``
+        Dotted name of the offending field, e.g. ``"chaos.drop"`` or
+        ``"workload.kind"``.
+    ``value``
+        The offending token, verbatim.
+    ``allowed``
+        Tuple of accepted values/kinds for that field, when enumerable.
+    ``position``
+        0-based character offset of the offending token in ``spec``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        spec: str | None = None,
+        field: str | None = None,
+        value: object = None,
+        allowed: tuple | None = None,
+        position: int | None = None,
+    ):
+        self.spec = spec
+        self.field = field
+        self.value = value
+        self.allowed = tuple(allowed) if allowed is not None else None
+        self.position = position
+        parts = [message]
+        if self.allowed is not None:
+            parts.append(f"(allowed: {', '.join(str(a) for a in self.allowed)})")
+        if position is not None and spec is not None:
+            parts.append(f"at position {position} in {spec!r}")
+        super().__init__(" ".join(parts))
+
+
 # ---------------------------------------------------------------------------
 # Language substrate
 # ---------------------------------------------------------------------------

@@ -14,7 +14,9 @@ from repro.exp.scenario import (
     ScenarioSpec,
     all_scenarios,
     expand,
+    expanded_runspecs,
     get_scenario,
+    point_runspec,
     point_seed,
     register,
 )
@@ -25,7 +27,9 @@ __all__ = [
     "SweepResult",
     "all_scenarios",
     "expand",
+    "expanded_runspecs",
     "get_scenario",
+    "point_runspec",
     "point_seed",
     "register",
     "run_scenario",

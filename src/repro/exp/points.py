@@ -7,6 +7,12 @@ in a result dict is a JSON primitive (numbers, strings, bools, lists,
 dicts), which is what makes the on-disk cache and the serial/parallel
 byte-parity guarantee possible.
 
+The ``machine`` runner is a thin shim over :mod:`repro.api`: the point
+parameters parse into a canonical :class:`~repro.api.RunSpec`
+(``RunSpec.from_params``) and :func:`repro.api.session.execute` produces
+the result record, so registry sweeps, ``repro run``, and programmatic
+``Experiment`` runs share one execution path and one result shape.
+
 Parameter conventions for the ``machine`` runner (all JSON values):
 
 ``workload``
@@ -32,23 +38,26 @@ Parameter conventions for the ``machine`` runner (all JSON values):
     ``"partition:start=0.3,dur=0.25,group=0-1"``; time-like parameters
     are fractions of the baseline makespan, like ``fault_frac``.  Empty
     string means no nemesis.
+
+Malformed spec strings raise :class:`~repro.errors.SpecError` with the
+offending token, the allowed values, and its position in the string.
 """
 
 from __future__ import annotations
 
-import statistics
 from functools import lru_cache
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.config import CostModel, SimConfig
-from repro.sim.failure import Fault, FaultSchedule
-from repro.sim.machine import RunResult, run_simulation
-from repro.sim.workload import InterpWorkload, TreeWorkload, Workload
+from repro.api.specs import FaultSpec, MachineSpec, PolicySpec, RunSpec, WorkloadSpec
+from repro.config import SimConfig
+from repro.sim.failure import FaultSchedule
+from repro.sim.machine import run_simulation
+from repro.sim.workload import TreeWorkload, Workload
 
 WorkloadFactory = Callable[[], Workload]
 
 
-# -- building blocks ----------------------------------------------------------
+# -- building blocks (string-grammar shims over repro.api) --------------------
 
 
 def build_workload(spec: str) -> Tuple[WorkloadFactory, Optional[int]]:
@@ -57,227 +66,32 @@ def build_workload(spec: str) -> Tuple[WorkloadFactory, Optional[int]]:
     ``tree_size`` is the task count for synthetic trees (used by the
     checkpoint-memory scenario) and ``None`` for interpreter programs.
     """
-    from repro.workloads import trees
-    from repro.workloads.suite import WORKLOADS
-
-    if spec in WORKLOADS:
-        return WORKLOADS[spec], None
-
-    kind, _, rest = spec.partition(":")
-    args = [int(a) for a in rest.split(":")] if rest and kind != "prog" else []
-    builders = {
-        "balanced": trees.balanced_tree,
-        "chain": trees.chain_tree,
-        "wide": trees.wide_tree,
-        "skewed": trees.skewed_tree,
-    }
-    if kind in builders:
-        tree = builders[kind](*args)
-        return (lambda: TreeWorkload(tree, spec)), len(tree)
-    if kind == "random":
-        seed, target = args
-        tree = trees.random_tree(seed=seed, target_tasks=target)
-        return (lambda: TreeWorkload(tree, spec)), len(tree)
-    if kind == "prog":
-        from repro.lang.programs import get_program
-
-        parts = rest.split(":")
-        prog_name, prog_args = parts[0], tuple(int(a) for a in parts[1:])
-        return (
-            lambda: InterpWorkload(get_program(prog_name, *prog_args), name=spec)
-        ), None
-    raise KeyError(f"unknown workload spec {spec!r}")
+    return WorkloadSpec.parse(spec).build()
 
 
 def build_policy(spec: str):
     """Resolve a policy spec string to a fresh policy instance."""
-    from repro.core import (
-        NoFaultTolerance,
-        ReplicatedExecution,
-        RollbackRecovery,
-        SpliceRecovery,
-    )
-
-    if spec.startswith("replicated"):
-        _, _, k = spec.partition(":")
-        return ReplicatedExecution(k=int(k) if k else 3)
-    simple = {
-        "none": NoFaultTolerance,
-        "rollback": RollbackRecovery,
-        "splice": SpliceRecovery,
-    }
-    try:
-        return simple[spec]()
-    except KeyError:
-        raise KeyError(f"unknown policy spec {spec!r}") from None
+    return PolicySpec.parse(spec).build()
 
 
 def build_config(params: Mapping[str, Any]) -> SimConfig:
     """Build a :class:`SimConfig` from point parameters."""
-    cost = CostModel(**params.get("cost", {}))
-    return SimConfig(
-        n_processors=int(params.get("processors", 4)),
-        topology=str(params.get("topology", "complete")),
-        scheduler=str(params.get("scheduler", "gradient")),
-        seed=int(params["seed"]),
-        cost=cost,
-        replication_factor=int(params.get("replication", 3)),
-    )
+    return MachineSpec.from_params(params).to_config(int(params["seed"]))
 
 
 def parse_fault_fracs(text: str) -> List[Tuple[float, int]]:
     """Parse ``"0.5:1+0.9:4"`` into ``[(0.5, 1), (0.9, 4)]``."""
-    if not text:
-        return []
-    pairs = []
-    for item in text.split("+"):
-        frac, _, node = item.partition(":")
-        pairs.append((float(frac), int(node)))
-    return pairs
-
-
-def _metrics_dict(result: RunResult) -> Dict[str, Any]:
-    m = result.metrics
-    return {
-        "tasks_spawned": m.tasks_spawned,
-        "tasks_accepted": m.tasks_accepted,
-        "tasks_completed": m.tasks_completed,
-        "tasks_aborted": m.tasks_aborted,
-        "tasks_reissued": m.tasks_reissued,
-        "twins_created": m.twins_created,
-        "steps_total": m.steps_total,
-        "steps_wasted": m.steps_wasted,
-        "steps_salvaged": m.steps_salvaged,
-        "checkpoints_recorded": m.checkpoints_recorded,
-        "checkpoints_dropped": m.checkpoints_dropped,
-        "checkpoint_peak_held": m.checkpoint_peak_held,
-        "results_delivered": m.results_delivered,
-        "results_duplicate": m.results_duplicate,
-        "results_ignored": m.results_ignored,
-        "results_orphan_rerouted": m.results_orphan_rerouted,
-        "results_salvaged": m.results_salvaged,
-        "failures_injected": m.failures_injected,
-        "failures_detected": m.failures_detected,
-        "nodes_failed": list(m.nodes_failed),
-        "delivery_failures": m.delivery_failures,
-        "recoveries_triggered": m.recoveries_triggered,
-        "oracle_mismatch": m.oracle_mismatch,
-        "nemesis_dropped": m.nemesis_dropped,
-        "nemesis_duplicated": m.nemesis_duplicated,
-        "nemesis_delayed": m.nemesis_delayed,
-        "nemesis_partition_blocked": m.nemesis_partition_blocked,
-        "nemesis_slowdown_time": round(m.nemesis_slowdown_time, 6),
-        "messages_total": m.messages_total,
-    }
-
-
-def _util_stats(result: RunResult) -> Tuple[Optional[float], Optional[float]]:
-    # Survivors are whoever actually stayed alive — metrics.nodes_failed
-    # covers crashes from the fault schedule and from nemesis models alike.
-    dead = set(result.metrics.nodes_failed)
-    util = result.metrics.utilization(result.makespan)
-    procs = [u for nid, u in util.items() if nid >= 0]
-    survivors = [u for nid, u in util.items() if nid >= 0 and nid not in dead]
-    mean = round(sum(procs) / len(procs), 6) if procs else None
-    spread = round(statistics.pstdev(survivors), 6) if len(survivors) > 1 else None
-    return mean, spread
+    return [tuple(entry) for entry in FaultSpec.parse(text, mode="frac").entries]
 
 
 # -- runners ------------------------------------------------------------------
 
 
-@lru_cache(maxsize=None)
-def _baseline(workload: str, policy: str, config: SimConfig) -> Tuple[float, int, int]:
-    """Fault-free baseline ``(makespan, tasks_accepted, messages_total)``.
-
-    Many grid points of one sweep share the same baseline (e.g. every
-    fault fraction of one policy); memoizing per process restores the
-    old drivers' run-it-once cost without giving up point purity — the
-    memo is a pure function of its key, so parallel and serial runs
-    still agree byte-for-byte.
-    """
-    wfactory, _ = build_workload(workload)
-    result = run_simulation(
-        wfactory(), config, policy=build_policy(policy), collect_trace=False
-    )
-    if not result.completed:
-        raise RuntimeError(f"baseline run stalled: {result.stall_reason}")
-    return result.makespan, result.metrics.tasks_accepted, result.metrics.messages_total
-
-
 def run_machine_point(params: Mapping[str, Any]) -> Dict[str, Any]:
     """One machine run (optionally faulted), as a flat JSON dict."""
-    wfactory, tree_size = build_workload(params["workload"])
-    config = build_config(params)
-    policy_spec = str(params.get("policy", "rollback"))
+    from repro.api.session import execute
 
-    fault_pairs = parse_fault_fracs(str(params.get("faults", "")))
-    if params.get("fault_frac") is not None:
-        fault_pairs.append((float(params["fault_frac"]), int(params.get("victim", 1))))
-    nemesis_spec = str(params.get("nemesis", "") or "")
-
-    base: Optional[Tuple[float, int, int]] = None
-    need_base = (
-        bool(fault_pairs)
-        or bool(nemesis_spec)
-        or params.get("speedup_base_processors") is not None
-    )
-    if need_base:
-        base_policy = str(params.get("base_policy") or policy_spec)
-        base_cfg = config
-        if params.get("speedup_base_processors") is not None:
-            base_cfg = config.with_(
-                n_processors=int(params["speedup_base_processors"])
-            )
-        base = _baseline(params["workload"], base_policy, base_cfg)
-
-    faults = FaultSchedule.of(
-        *(Fault(max(1.0, frac * base[0]), node) for frac, node in fault_pairs)
-    )
-    nemesis = None
-    if nemesis_spec:
-        from repro.faults import parse_nemesis
-
-        nemesis = parse_nemesis(nemesis_spec, base[0])
-    result = run_simulation(
-        wfactory(), config, policy=build_policy(policy_spec),
-        faults=faults, collect_trace=False, nemesis=nemesis,
-    )
-
-    util_mean, util_spread = _util_stats(result)
-    out: Dict[str, Any] = {
-        "workload": params["workload"],
-        "policy": policy_spec,
-        "processors": config.n_processors,
-        "seed": config.seed,
-        "completed": result.completed,
-        "verified": result.verified,
-        "correct": result.correct,
-        "value": repr(result.value),
-        "makespan": result.makespan,
-        "fault_times": [round(max(1.0, f * base[0]), 6) for f, _ in fault_pairs]
-        if base
-        else [],
-        "utilization_mean": util_mean,
-        "utilization_stddev_survivors": util_spread,
-        "metrics": _metrics_dict(result),
-    }
-    if nemesis_spec:
-        out["nemesis"] = nemesis_spec
-    if tree_size is not None:
-        out["tree_size"] = tree_size
-    if base is not None:
-        base_makespan, base_accepted, base_messages = base
-        out["fault_free"] = {
-            "makespan": base_makespan,
-            "tasks_accepted": base_accepted,
-            "messages_total": base_messages,
-        }
-        if fault_pairs:
-            out["slowdown"] = round(result.makespan / base_makespan, 6)
-        if params.get("speedup_base_processors") is not None:
-            out["speedup"] = round(base_makespan / result.makespan, 6)
-    return out
+    return execute(RunSpec.from_params(params)).record
 
 
 def run_figure_point(params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -370,9 +184,11 @@ RUNNERS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
 #: every spec's cache identity, so stale on-disk sweep results are never
 #: served after a runner change.  machine v2: nemesis support, the
 #: recovery-quality counters, nodes_failed-based survivor stats, and the
-#: delivery_failures double-count fix.
+#: delivery_failures double-count fix.  machine v3: the RunSpec refit —
+#: results are byte-identical (golden digests pin it), but the cache
+#: identity now derives from canonical RunSpec JSON.
 RUNNER_VERSIONS: Dict[str, int] = {
-    "machine": 2,
+    "machine": 3,
     "figure": 1,
     "periodic": 1,
 }

@@ -92,10 +92,16 @@ class ScenarioSpec:
         (:data:`repro.exp.points.RUNNER_VERSIONS`) alongside the spec's,
         so a semantic change to a point runner invalidates every cached
         sweep that used it without touching each spec.
+
+        For ``machine`` scenarios the identity additionally carries the
+        fully-expanded canonical RunSpec documents (one per point), so
+        the cache key is a function of what each point *means* — any
+        change to the RunSpec schema or to how params resolve into specs
+        invalidates stale sweeps even if ``base``/``axes`` look equal.
         """
         from repro.exp.points import RUNNER_VERSIONS
 
-        return {
+        payload = {
             "name": self.name,
             "runner": self.runner,
             "runner_version": RUNNER_VERSIONS.get(self.runner, 1),
@@ -103,10 +109,25 @@ class ScenarioSpec:
             "axes": {k: list(v) for k, v in self.axes.items()},
             "version": self.version,
         }
+        if self.runner == "machine":
+            payload["runspecs"] = expanded_runspecs(self)
+        return payload
 
     def key(self) -> str:
-        """Stable hash of the spec (the result-cache key)."""
-        return stable_hash(self.identity())
+        """Stable hash of the spec (the result-cache key).
+
+        Memoized per instance: for machine scenarios ``identity()``
+        expands the grid and serializes a RunSpec per point, so repeated
+        ``key()`` calls (the runner, ``exp show``, tests) must not repay
+        that.  The spec is frozen, so the cache can never go stale —
+        except for the deliberate RUNNER_VERSIONS monkeypatching in
+        tests, which constructs fresh specs.
+        """
+        cached = getattr(self, "_key_cache", None)
+        if cached is None:
+            cached = stable_hash(self.identity())
+            object.__setattr__(self, "_key_cache", cached)
+        return cached
 
     def n_points(self) -> int:
         total = 1
@@ -169,6 +190,39 @@ def expand(spec: ScenarioSpec) -> List[Point]:
             )
         )
     return points
+
+
+def expanded_runspecs(spec: ScenarioSpec) -> List[Dict[str, Any]]:
+    """Canonical RunSpec documents for every point of a ``machine`` spec.
+
+    Memoized per instance (the spec is frozen): ``identity()``/``key()``
+    and ``exp show --json`` share one grid expansion and one
+    parse+serialize pass instead of each paying their own.
+    """
+    cached = getattr(spec, "_runspecs_cache", None)
+    if cached is None:
+        cached = [point_runspec(spec, point).to_json() for point in expand(spec)]
+        object.__setattr__(spec, "_runspecs_cache", cached)
+    return cached
+
+
+def point_runspec(spec: ScenarioSpec, point: Point):
+    """The canonical :class:`~repro.api.RunSpec` for one ``machine`` point.
+
+    Raises :class:`~repro.errors.SpecError` for non-machine runners
+    (figure and periodic points are not machine runs and have no RunSpec
+    form) or for malformed point parameters.
+    """
+    from repro.api.specs import RunSpec
+    from repro.errors import SpecError
+
+    if spec.runner != "machine":
+        raise SpecError(
+            f"scenario {spec.name!r} uses runner {spec.runner!r}; "
+            "only 'machine' points have a RunSpec form",
+            field="runner", value=spec.runner, allowed=("machine",),
+        )
+    return RunSpec.from_params(point.params)
 
 
 # -- registry -----------------------------------------------------------------

@@ -199,44 +199,26 @@ register(
 
 
 # -- spec parsing --------------------------------------------------------------
-
-
-def _parse_value(model: str, key: str, raw: str, param: Param, base: float):
-    try:
-        if param.kind == "nodes":
-            return tuple(int(part) for part in raw.split("-"))
-        if param.kind in ("int", "flag"):
-            return int(raw)
-        value = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"bad value {raw!r} for {model}:{key} (expected {param.kind})"
-        ) from None
-    return value * base if param.fraction else value
+#
+# The grammar itself lives in :class:`repro.api.specs.NemesisSpec` (one
+# parser for the CLI, the scenario grids, and the programmatic API);
+# these wrappers keep the historical parse-and-arm entry points.  All
+# parse failures are structured :class:`~repro.errors.SpecError`s.
 
 
 def parse_model(text: str, base_makespan: float = 1.0) -> FaultModel:
     """Parse one ``name:k=v,...`` clause into a model instance."""
-    name, _, rest = text.partition(":")
-    info = get_model(name.strip())
-    kwargs = {}
-    if rest:
-        for item in rest.split(","):
-            key, eq, raw = item.partition("=")
-            key = key.strip()
-            if not eq or key not in info.params:
-                raise ValueError(
-                    f"unknown parameter {item!r} for fault model {name!r}; "
-                    f"expected {sorted(info.params)}"
-                )
-            kwargs[key] = _parse_value(name, key, raw.strip(), info.params[key],
-                                       base_makespan)
-    missing = [
-        k for k, p in info.params.items() if p.default is None and k not in kwargs
-    ]
-    if missing:
-        raise ValueError(f"fault model {name!r} missing parameters: {missing}")
-    return info.build(**kwargs)
+    from repro.api.specs import NemesisSpec
+
+    models = list(NemesisSpec.parse(text).build(base_makespan))
+    if len(models) != 1:
+        from repro.errors import SpecError
+
+        raise SpecError(
+            f"expected exactly one model clause, got {len(models)}",
+            spec=text, field="nemesis", value=text,
+        )
+    return models[0]
 
 
 def parse_nemesis(spec: str, base_makespan: float = 1.0) -> NemesisSchedule:
@@ -246,9 +228,6 @@ def parse_nemesis(spec: str, base_makespan: float = 1.0) -> NemesisSchedule:
     so specs stay workload-relative the way ``fault_frac`` is.  An
     empty spec yields the empty schedule (arming it is a no-op).
     """
-    spec = spec.strip()
-    if not spec:
-        return NemesisSchedule.none()
-    return NemesisSchedule.of(
-        *(parse_model(clause, base_makespan) for clause in spec.split("+"))
-    )
+    from repro.api.specs import NemesisSpec
+
+    return NemesisSpec.parse(spec).build(base_makespan)

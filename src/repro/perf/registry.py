@@ -45,32 +45,42 @@ def _machine_factory(
     fault_fracs: Tuple[Tuple[float, int], ...] = (),
     collect_trace: bool = False,
 ) -> Callable[[bool], Callable[[], Mapping[str, Any]]]:
-    """Factory for one repeated machine run (build + evaluate per trial)."""
+    """Factory for one repeated machine run (build + evaluate per trial).
+
+    The run is described once as a canonical :class:`~repro.api.RunSpec`
+    (the same form the CLI and the scenario sweeps use); setup resolves
+    the spec into live objects *outside* the thunk so trials time only
+    the simulation itself, exactly as before the RunSpec refit.
+    """
 
     def factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
-        from repro.config import SimConfig
-        from repro.exp.points import build_policy, build_workload
-        from repro.sim.failure import Fault, FaultSchedule
+        from repro.api import Experiment
         from repro.sim.machine import run_simulation
 
-        wfactory, _ = build_workload(workload)
-        config = SimConfig(n_processors=_PROCESSORS, seed=0)
-        faults = FaultSchedule.none()
-        if fault_fracs:
+        builder = (
+            Experiment.workload(workload).policy(policy).processors(_PROCESSORS).seed(0)
+        )
+        for frac, node in fault_fracs:
+            builder.fault(frac, node)
+        spec = builder.build()
+
+        wfactory, _ = spec.workload.build()
+        config = spec.config()
+        base_makespan = None
+        if spec.faults:
             base = run_simulation(
-                wfactory(), config, policy=build_policy(policy), collect_trace=False
+                wfactory(), config, policy=spec.policy.build(), collect_trace=False
             )
             if not base.completed:  # pragma: no cover - setup sanity
                 raise RuntimeError(f"baseline run stalled: {base.stall_reason}")
-            faults = FaultSchedule.of(
-                *(Fault(max(1.0, frac * base.makespan), node) for frac, node in fault_fracs)
-            )
+            base_makespan = base.makespan
+        faults = spec.faults.schedule(base_makespan)
 
         def thunk() -> Mapping[str, Any]:
             result = run_simulation(
                 wfactory(),
                 config,
-                policy=build_policy(policy),
+                policy=spec.policy.build(),
                 faults=faults,
                 collect_trace=collect_trace,
             )
@@ -144,15 +154,21 @@ _CHAOS_NEMESIS = (
 
 
 def _chaos_factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
-    from repro.config import SimConfig
-    from repro.exp.points import build_policy, build_workload
-    from repro.faults import parse_nemesis
+    from repro.api import Experiment
     from repro.sim.machine import run_simulation
 
-    wfactory, _ = build_workload(_STORM_TREE)
-    config = SimConfig(n_processors=_PROCESSORS, seed=0)
+    spec = (
+        Experiment.workload(_STORM_TREE)
+        .policy("splice")
+        .nemesis(_CHAOS_NEMESIS)
+        .processors(_PROCESSORS)
+        .seed(0)
+        .build()
+    )
+    wfactory, _ = spec.workload.build()
+    config = spec.config()
     base = run_simulation(
-        wfactory(), config, policy=build_policy("splice"), collect_trace=False
+        wfactory(), config, policy=spec.policy.build(), collect_trace=False
     )
     if not base.completed:  # pragma: no cover - setup sanity
         raise RuntimeError(f"baseline run stalled: {base.stall_reason}")
@@ -162,9 +178,9 @@ def _chaos_factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
         result = run_simulation(
             wfactory(),
             config,
-            policy=build_policy("splice"),
+            policy=spec.policy.build(),
             collect_trace=False,
-            nemesis=parse_nemesis(_CHAOS_NEMESIS, base_makespan),
+            nemesis=spec.nemesis.build(base_makespan),
         )
         checks = _run_checks(result)
         m = result.metrics
@@ -417,14 +433,14 @@ register(
 
 
 def _network_delivery_factory(quick: bool) -> Callable[[], Mapping[str, Any]]:
+    from repro.api import WorkloadSpec
     from repro.config import SimConfig
     from repro.core.stamps import LevelStamp
-    from repro.exp.points import build_workload
     from repro.sim.machine import Machine
     from repro.sim.messages import PlacementAck
 
     n = 10_000
-    wfactory, _ = build_workload("balanced:1:1:1")
+    wfactory, _ = WorkloadSpec.parse("balanced:1:1:1").build()
 
     def thunk() -> Mapping[str, Any]:
         machine = Machine(SimConfig(n_processors=_PROCESSORS, seed=0), wfactory())

@@ -1,0 +1,96 @@
+"""Byte-parity guard for the RunSpec refit of the sweep engine.
+
+The golden digests below were captured from the pre-RunSpec point
+runner (commit dc44c40, ``machine`` runner v2): sha256 of the canonical
+JSON of each registered scenario's ``points`` payload, run serially
+with no cache.  The RunSpec path (``RunSpec.from_params`` ->
+``execute``) must reproduce every scenario byte-for-byte — parsing
+params into typed specs and re-serializing them canonically is required
+to be a *pure refactor* of the result surface.
+
+(The sweep cache *key* is allowed to change — RUNNER_VERSIONS was
+bumped deliberately so stale cached results are never served — which is
+why the digests cover ``points``, not the whole payload.)
+
+If a digest mismatches, either the result semantics changed (bump the
+machine RUNNER_VERSION and recapture deliberately) or spec
+canonicalization drifted from the historical strings (a bug).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.exp import all_scenarios, expand, get_scenario, point_runspec, run_scenario
+from repro.util.jsonio import canonical_dumps
+
+#: sha256(canonical_dumps(payload["points"])) per scenario, captured at
+#: the pre-refactor seed (see module docstring).
+GOLDEN_POINT_DIGESTS = {
+    "chaos-grayfail": "1c0839067be1375ec1dcd08e13727c374aedda159c232f93ae661de5999bc197",
+    "chaos-partition": "7fe0ec7efbe74d5f8b404e608e80d827629ff453ba469e83246f81c74b17b133",
+    "chaos-storm": "3208e1dcb28c9947935f1ffc47ad76c7bd71d4851df30433913377eeab9a1c51",
+    "checkpoint-memory": "cf2bce88f76d85aa7a6d1645aeb32ed1f01130c7561a594766c9611693e63ce6",
+    "fig1-fragmentation": "e2a4f6bc47828418157c45c670528d4688180471e50b55c8837f47a8c3fa8ce8",
+    "fig2-grandparents": "2b18c1bc5ac65c99f442547484a36b4a95e72b95d0d4bd0fd256d2f904d47a14",
+    "fig3-inheritance": "5ca878ae7215fbba480a4662c87002e8d2fa4eece84ba547f4b520bb7bf69be7",
+    "fig5-cases": "68d0c15717ddfee8d79a5509d17e25f1abcefceda4aca0b7b733f17d6de2c4c8",
+    "fig6-residue": "f867473ca5113c4671dbf5b825b6ab3277ff5a5f40f982aed0df24be52e6437e",
+    "loadbalance": "d0f2df559ae2eaf975137268346b4bfd66bec02423e4a539f1394fb1fce3b5f6",
+    "multi-fault": "9886b353ac918f7d90e462d99bd1bf0dfc36b5363ab74dfa754b282467d6fd89",
+    "orphan-regime": "8fe09368fa2a757afc58dafef8f3fac1b1cc17c4256b8a691694a06dfe7c1ca9",
+    "overhead-faultfree": "2011ec5931f50482015f1a3d501e1ae31e8784691cb5f5407e6587cff8416f36",
+    "periodic-baseline": "6000514a4f0931fdd173e46898911f74314862d21753c3f3f33af769a9ba0337",
+    "replication": "b63befaf41da358c5dd93aaea6740dbf6498021414cf164bac1a92946366eca6",
+    "rollback-vs-splice": "392cfb4b3aea10da79323962b347ca3f58dbc7266a96846b975972114dcfc9df",
+    "scaling-fib": "852ee7b9ac01d5c7dec06322dfde9442c5c0a66bf1e9f22ec41ab0d022163ab9",
+    "scaling-wide": "899bb7709d9d0a1b6c040d506a7657427cdc25d715dc1ac46826c98413626232",
+    "smoke": "b4ebec869cd5b21dd525a1ab6b5a63ef95b0eccd956ae05c6c3ab5aafc657387",
+}
+
+
+def test_every_registered_scenario_has_a_golden_digest():
+    assert set(GOLDEN_POINT_DIGESTS) == set(all_scenarios()), (
+        "scenario registry and golden-digest table disagree; capture a "
+        "digest for new scenarios (run the sweep, hash canonical points)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_POINT_DIGESTS))
+def test_sweep_points_byte_identical_to_pre_refactor(name):
+    sweep = run_scenario(name, workers=1, cache_dir=None)
+    digest = hashlib.sha256(
+        canonical_dumps(sweep.payload()["points"]).encode("utf-8")
+    ).hexdigest()
+    assert digest == GOLDEN_POINT_DIGESTS[name], (
+        f"scenario {name!r} sweep output drifted from the pre-RunSpec "
+        "golden digest — the RunSpec path must be byte-identical"
+    )
+
+
+class TestRunSpecCacheIdentity:
+    def test_machine_identity_embeds_expanded_runspecs(self):
+        spec = get_scenario("smoke")
+        identity = spec.identity()
+        assert len(identity["runspecs"]) == spec.n_points()
+        for doc in identity["runspecs"]:
+            assert doc["schema"] == "repro-runspec/1"
+
+    def test_non_machine_identity_has_no_runspecs(self):
+        assert "runspecs" not in get_scenario("fig1-fragmentation").identity()
+        assert "runspecs" not in get_scenario("periodic-baseline").identity()
+
+    def test_point_runspec_matches_identity(self):
+        spec = get_scenario("smoke")
+        points = expand(spec)
+        docs = [point_runspec(spec, p).to_json() for p in points]
+        assert docs == spec.identity()["runspecs"]
+
+    def test_point_runspec_rejects_non_machine_runners(self):
+        from repro.errors import SpecError
+
+        spec = get_scenario("fig1-fragmentation")
+        with pytest.raises(SpecError, match="only 'machine'"):
+            point_runspec(spec, expand(spec)[0])

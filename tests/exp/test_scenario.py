@@ -90,7 +90,7 @@ class TestSpecKey:
         assert changed.key() != tiny_spec().key()
 
     def test_key_changes_with_base_and_version(self):
-        assert tiny_spec(base={"workload": "other"}).key() != tiny_spec().key()
+        assert tiny_spec(base={"workload": "chain:3:5"}).key() != tiny_spec().key()
         assert tiny_spec(version=2).key() != tiny_spec().key()
 
     def test_key_changes_with_runner_version(self, monkeypatch):
@@ -160,7 +160,9 @@ class TestBuilders:
         assert factory().name == "prog:fib:6"
 
     def test_unknown_workload(self):
-        with pytest.raises(KeyError):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError, match="unknown workload"):
             build_workload("nope:1:2")
 
     def test_policies(self):
@@ -168,7 +170,9 @@ class TestBuilders:
         assert build_policy("rollback").name == "rollback"
         assert build_policy("splice").name == "splice"
         assert build_policy("replicated:5").k == 5
-        with pytest.raises(KeyError):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError, match="unknown policy"):
             build_policy("nope")
 
     def test_parse_fault_fracs(self):

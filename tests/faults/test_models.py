@@ -289,7 +289,11 @@ class TestRegistryAndGrammar:
         assert not parse_nemesis("  ", 100.0)
 
     def test_grammar_errors(self):
-        with pytest.raises(KeyError, match="unknown fault model"):
+        from repro.errors import SpecError
+
+        # Spec-grammar failures are structured SpecErrors (which subclass
+        # ValueError); only the raw registry lookup still raises KeyError.
+        with pytest.raises(SpecError, match="unknown fault model"):
             parse_nemesis("no-such-model:x=1")
         with pytest.raises(ValueError, match="unknown parameter"):
             parse_nemesis("crash:at=0.5,node=1,bogus=3")

@@ -77,6 +77,101 @@ class TestRun:
         code, _ = run_cli("run", "fib-10", "--fault", "100:9")
         assert code == 2
 
+    def test_workload_spec_strings_accepted(self):
+        # `repro run` takes the full workload grammar, not just suite names
+        code, text = run_cli("run", "balanced:3:2:10", "--policy", "splice")
+        assert code == 0
+        assert "completed" in text and "verified" in text
+
+    def test_bad_workload_one_line_diagnostic(self, capsys):
+        code, _ = run_cli("run", "balanced:3:x:10")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "'x'" in err
+        assert "Traceback" not in err
+
+    def test_nemesis_flag(self):
+        code, text = run_cli(
+            "run", "balanced:3:2:10", "--policy", "splice",
+            "--nemesis", "jitter:max=10", "--seed", "3",
+        )
+        assert code == 0
+        assert "verified" in text
+
+    def test_bad_nemesis_one_line_diagnostic(self, capsys):
+        code, _ = run_cli("run", "fib-10", "--nemesis", "nosuch:x=1")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown fault model" in err and "Traceback" not in err
+
+
+class TestRunSpecFlags:
+    def test_dry_run_prints_canonical_runspec(self):
+        import json
+
+        from repro.api import RUNSPEC_SCHEMA, RunSpec
+
+        code, text = run_cli(
+            "run", "balanced:3:2:10", "--policy", "splice",
+            "--fault", "300:1", "--seed", "9", "--dry-run",
+        )
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["schema"] == RUNSPEC_SCHEMA
+        spec = RunSpec.from_json(doc)
+        assert spec.workload.to_spec_str() == "balanced:3:2:10"
+        assert spec.policy.name == "splice" and spec.seed == 9
+        assert spec.faults.mode == "time" and spec.faults.entries == ((300.0, 1),)
+        # canonical: the emitted text is byte-stable
+        from repro.util.jsonio import canonical_dumps
+
+        assert text == canonical_dumps(doc)
+
+    def test_spec_json_replays_a_saved_spec(self, tmp_path):
+        code, text = run_cli(
+            "run", "balanced:3:2:10", "--policy", "splice", "--seed", "4", "--dry-run"
+        )
+        assert code == 0
+        path = tmp_path / "spec.json"
+        path.write_text(text)
+        code, text = run_cli("run", "--spec-json", str(path))
+        assert code == 0
+        assert "completed" in text and "verified" in text
+
+    def test_spec_json_conflicts_with_workload(self, capsys):
+        code, _ = run_cli("run", "fib-10", "--spec-json", "x.json")
+        assert code == 2
+        assert "--spec-json" in capsys.readouterr().err
+
+    def test_spec_json_rejects_flag_overrides(self, tmp_path, capsys):
+        # flags alongside --spec-json would silently run a different
+        # experiment than the document names — refuse instead
+        code, text = run_cli("run", "balanced:3:2:10", "--dry-run")
+        assert code == 0
+        path = tmp_path / "spec.json"
+        path.write_text(text)
+        code, _ = run_cli(
+            "run", "--spec-json", str(path), "--policy", "splice", "--seed", "9"
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--policy" in err and "--seed" in err and "Traceback" not in err
+        # even a flag given at its default value counts as an explicit
+        # override attempt and is refused (the document is authoritative)
+        code, _ = run_cli("run", "--spec-json", str(path), "--policy", "rollback")
+        assert code == 2
+        assert "--policy" in capsys.readouterr().err
+
+    def test_spec_json_missing_file(self, capsys):
+        code, _ = run_cli("run", "--spec-json", "/no/such/file.json")
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_run_without_workload(self, capsys):
+        code, _ = run_cli("run")
+        assert code == 2
+        assert "workload" in capsys.readouterr().err
+
 
 class TestFaultParsing:
     def test_parse(self):
@@ -90,6 +185,28 @@ class TestFaultParsing:
             _parse_fault("nope")
         with pytest.raises(argparse.ArgumentTypeError):
             _parse_fault("600")
+
+    def test_reject_fraction_mode_prefix(self):
+        # "frac:0.5:1" would otherwise inject at t=0.5 absolute
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="absolute"):
+            _parse_fault("frac:0.5:1")
+
+    def test_cli_and_api_agree_on_the_diagnostic(self):
+        # Satellite guarantee: both entry points delegate to
+        # FaultSpec.parse, so malformed input yields the same structured
+        # message whether it arrives via --fault or the programmatic API.
+        import argparse
+
+        from repro.api import FaultSpec, SpecError
+
+        for bad in ("nope", "600", "x:1", "0.5:n", ":", "600:"):
+            with pytest.raises(SpecError) as api_err:
+                FaultSpec.parse(bad, mode="time")
+            with pytest.raises(argparse.ArgumentTypeError) as cli_err:
+                _parse_fault(bad)
+            assert str(cli_err.value) == str(api_err.value), bad
 
 
 class TestFaults:
@@ -130,9 +247,63 @@ class TestExp:
         assert "axes" in text and "fault_frac" in text
         assert "point seeds" in text
 
+    def test_exp_show_json_expands_runspecs(self):
+        import json
+
+        from repro.api import RUNSPEC_SCHEMA, RunSpec
+        from repro.exp import get_scenario
+        from repro.util.jsonio import canonical_dumps
+
+        code, text = run_cli("exp", "show", "smoke", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["scenario"] == "smoke"
+        assert payload["key"] == get_scenario("smoke").key()
+        assert payload["n_points"] == len(payload["points"]) == 4
+        for point in payload["points"]:
+            doc = point["runspec"]
+            assert doc["schema"] == RUNSPEC_SCHEMA
+            RunSpec.from_json(doc)  # must be a valid, replayable document
+        assert text == canonical_dumps(payload)
+
+    def test_exp_show_json_non_machine_runner_has_params_only(self):
+        import json
+
+        code, text = run_cli("exp", "show", "fig1-fragmentation", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["runner"] == "figure"
+        assert "runspec" not in payload["points"][0]
+
     def test_exp_show_unknown(self):
         code, _ = run_cli("exp", "show", "no-such-scenario")
         assert code == 2
+
+    def test_exp_show_malformed_registered_scenario_diagnoses(self, capsys):
+        # a user-registered scenario with a typo'd param must get the
+        # one-line SpecError treatment, not a traceback (key() parses
+        # every machine point into a RunSpec)
+        from repro.exp import ScenarioSpec
+        from repro.exp.scenario import _REGISTRY
+
+        bad = ScenarioSpec(
+            name="bad-typo",
+            title="typo'd param",
+            description="test",
+            runner="machine",
+            base={"workload": "balanced:2:2:5", "procesors": 8},
+            axes={},
+        )
+        _REGISTRY[bad.name] = bad
+        try:
+            code, _ = run_cli("exp", "show", "bad-typo")
+            assert code == 2
+            err = capsys.readouterr().err
+            assert "unknown run parameter" in err and "procesors" in err
+            code, _ = run_cli("exp", "show", "bad-typo", "--json")
+            assert code == 2
+        finally:
+            del _REGISTRY[bad.name]
 
     def test_exp_run_unknown(self):
         code, _ = run_cli("exp", "run", "no-such-scenario")

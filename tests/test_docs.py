@@ -25,6 +25,7 @@ from repro.perf import all_benches
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOC_FILES = [
     "README.md",
+    "docs/API.md",
     "docs/ARCHITECTURE.md",
     "docs/SCENARIOS.md",
     "docs/PERFORMANCE.md",
@@ -42,6 +43,26 @@ FAULTS_CLI_REF = re.compile(r"faults (list|describe)")
 #: and docs all reference them as strings, so renames are breaking
 #: changes and must be made deliberately (here and in docs/FAULTS.md).
 FAULT_MODEL_NAMES = {"crash", "cascade", "partition", "chaos", "grayfail", "jitter"}
+
+#: The public surface of repro.api is a contract: docs, the README
+#: quickstart, and downstream code import these names.  Removals or
+#: renames are breaking changes and must be made deliberately (here,
+#: in docs/API.md, and in the README).
+API_EXPORTS = {
+    "RUNSPEC_SCHEMA",
+    "Experiment",
+    "FaultSpec",
+    "MachineSpec",
+    "NemesisClause",
+    "NemesisSpec",
+    "PolicySpec",
+    "RunHandle",
+    "RunSpec",
+    "Session",
+    "SpecError",
+    "WorkloadSpec",
+    "execute",
+}
 
 
 def read_docs() -> dict:
@@ -155,6 +176,60 @@ class TestFaultModelReferences:
         faults_doc = read_docs()["docs/FAULTS.md"]
         # the composition operator and a worked spec must be shown
         assert "+" in faults_doc and "crash:at=" in faults_doc
+
+
+class TestApiReferences:
+    def test_api_exports_are_pinned(self):
+        import repro.api
+
+        assert set(repro.api.__all__) == API_EXPORTS, (
+            "repro.api exports changed; update API_EXPORTS, docs/API.md, "
+            "and the README quickstart deliberately"
+        )
+        for name in API_EXPORTS:
+            assert hasattr(repro.api, name), name
+
+    def test_quickstart_import_line_works(self):
+        # the documented quickstart import, verbatim
+        from repro.api import Experiment, RunSpec, Session  # noqa: F401
+
+    def test_package_root_reexports_the_api(self):
+        import repro
+
+        for name in ("Experiment", "Session", "RunSpec", "RunHandle", "SpecError"):
+            assert name in repro.__all__ and hasattr(repro, name)
+
+    def test_readme_quickstart_is_on_repro_api(self):
+        readme = read_docs()["README.md"]
+        assert "from repro.api import Experiment, Session, RunSpec" in readme
+        assert "docs/API.md" in readme
+
+    def test_docs_name_the_new_run_flags(self):
+        readme = read_docs()["README.md"]
+        api_doc = read_docs()["docs/API.md"]
+        for text in (readme, api_doc):
+            assert "--dry-run" in text
+            assert "--spec-json" in text
+        assert "--nemesis" in readme
+
+    def test_docs_name_exp_show_json(self):
+        corpus = read_docs()
+        assert re.search(r"exp show [a-z0-9-]+ --json", corpus["README.md"])
+        assert "--json" in corpus["docs/API.md"]
+
+    def test_api_doc_shows_all_spec_grammars(self):
+        api_doc = read_docs()["docs/API.md"]
+        for cls in ("WorkloadSpec", "PolicySpec", "FaultSpec", "NemesisSpec",
+                    "MachineSpec", "RunSpec"):
+            assert cls in api_doc, f"{cls} missing from docs/API.md"
+        from repro.api import RUNSPEC_SCHEMA
+
+        assert RUNSPEC_SCHEMA in api_doc
+
+    def test_api_doc_grammar_agrees_with_the_workload_kinds(self):
+        api_doc = read_docs()["docs/API.md"]
+        for kind in ("balanced", "chain", "wide", "skewed", "random", "prog"):
+            assert f"{kind}:" in api_doc
 
 
 class TestCommittedBaseline:
