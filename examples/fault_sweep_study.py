@@ -4,40 +4,34 @@
 Sweeps the fault time over the program's lifetime and prints the series
 behind the paper's §6 claim — rollback grows costly for late faults,
 splice flattens the curve by salvaging, replication pays up front.
+Every run goes through the canonical ``repro.api`` RunSpec path (one
+spec string per workload/policy), so these numbers are byte-identical
+to what a registry sweep of the same parameters caches.
+
+For the same series with replicate statistics (median/IQR/bootstrap
+CIs), see `python -m repro report run rollback-vs-splice
+--replications 5` and docs/REPORTS.md.
 
     python examples/fault_sweep_study.py
 """
 
 from repro.analysis.experiments import fault_time_sweep, overhead_sweep
 from repro.analysis.report import render_fault_sweep, render_overhead
-from repro.config import SimConfig
-from repro.core import (
-    NoFaultTolerance,
-    ReplicatedExecution,
-    RollbackRecovery,
-    SpliceRecovery,
-)
-from repro.sim import TreeWorkload
-from repro.workloads.trees import balanced_tree
+from repro.api import Session
 
 
 def main() -> None:
-    config = SimConfig(n_processors=4, seed=0)
-
-    def workload():
-        return TreeWorkload(balanced_tree(4, 2, 60), "balanced-d4")
+    workload = "balanced:4:2:60"
+    session = Session()  # memoizes fault-free baselines across both sweeps
 
     print(
         render_overhead(
             overhead_sweep(
-                {"balanced-d4": workload},
-                {
-                    "none": NoFaultTolerance,
-                    "rollback": RollbackRecovery,
-                    "splice": SpliceRecovery,
-                    "replicated-k3": lambda: ReplicatedExecution(k=3),
-                },
-                config,
+                [workload],
+                ["none", "rollback", "splice", "replicated:3"],
+                processors=4,
+                seed=0,
+                session=session,
             ),
             title="Fault-free overhead (paper §6: functional checkpointing is cheap)",
         )
@@ -47,9 +41,11 @@ def main() -> None:
         render_fault_sweep(
             fault_time_sweep(
                 workload,
-                config,
-                {"rollback": RollbackRecovery, "splice": SpliceRecovery},
+                ["rollback", "splice"],
                 fractions=(0.1, 0.3, 0.5, 0.7, 0.9),
+                processors=4,
+                seed=0,
+                session=session,
             ),
             title="Recovery cost vs fault time (paper §6: late faults hurt rollback)",
         )

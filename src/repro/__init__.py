@@ -55,6 +55,7 @@ Package layout
 - :mod:`repro.workloads` — synthetic call-tree generators, Figure-1 tree
 - :mod:`repro.analysis`  — experiment runner and figure reproductions
 - :mod:`repro.exp`       — scenario registry + parallel sweep runner
+- :mod:`repro.report`    — replication aggregation + statistical reports
 - :mod:`repro.perf`      — benchmark registry + baseline compare
 """
 

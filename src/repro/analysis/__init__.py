@@ -1,22 +1,32 @@
-"""Experiment harness: sweeps, figure reproductions, reporting."""
+"""Experiment harness: sweeps, figure reproductions, reporting.
+
+The sweep runners here are thin loops over the ``repro.api`` RunSpec
+path (see :mod:`repro.analysis.experiments`); statistical aggregation
+of *replicated* sweeps lives in :mod:`repro.report`.
+"""
 
 from repro.analysis.experiments import (
     FaultSweepPoint,
     OverheadRow,
+    ScalingPoint,
     fault_free_makespan,
     fault_time_sweep,
+    multi_fault_run,
     overhead_sweep,
     scaling_sweep,
 )
-from repro.analysis.report import render_fault_sweep, render_overhead
+from repro.analysis.report import render_fault_sweep, render_overhead, render_scaling
 
 __all__ = [
     "FaultSweepPoint",
     "OverheadRow",
+    "ScalingPoint",
     "fault_free_makespan",
     "fault_time_sweep",
+    "multi_fault_run",
     "overhead_sweep",
     "scaling_sweep",
     "render_fault_sweep",
     "render_overhead",
+    "render_scaling",
 ]

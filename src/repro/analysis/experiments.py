@@ -1,4 +1,4 @@
-"""Parameterized experiment runners.
+"""Parameterized experiment runners (on the ``repro.api`` RunSpec path).
 
 Each sweep turns the paper's qualitative claims into measured series:
 
@@ -11,57 +11,64 @@ Each sweep turns the paper's qualitative claims into measured series:
 - :func:`multi_fault_run`    — §5.2: independent faults recover in
   parallel.
 
-All runners take *factories* (machines and workloads are single-shot) and
-are deterministic given their seeds.
+Since the RunSpec refit these are thin loops over
+:func:`repro.api.session.execute`: every iteration builds one canonical
+:class:`~repro.api.RunSpec` from spec *strings* (``"balanced:4:2:60"``,
+``"splice"``) and reads the canonical result record — the same path the
+CLI, the scenario registry, and programmatic ``Experiment`` runs take,
+so these series can never drift from a registry sweep of the same
+parameters.  The historical hand-rolled ``Machine`` loops are gone;
+``tests/analysis/test_port_golden.py`` pins that the rendered tables
+are byte-identical to the pre-port drivers.
 
-These are the in-process building blocks; the declarative face of the
-same sweeps lives in :mod:`repro.exp` — ``rollback-vs-splice``,
-``overhead-faultfree``, ``scaling-wide`` and friends are registered
-scenarios that run each grid point through
-:func:`repro.exp.points.run_machine_point` with process-pool fan-out and
-result caching (``repro exp list`` shows the full registry).  Prefer a
-registry entry over a new ad-hoc driver when adding an experiment.
+The declarative face of the same sweeps lives in :mod:`repro.exp` —
+``rollback-vs-splice``, ``overhead-faultfree``, ``scaling-wide`` and
+friends are registered scenarios with process-pool fan-out and result
+caching (``repro exp list``); prefer a registry entry over a new ad-hoc
+driver when adding an experiment.  These in-process runners remain for
+interactive studies and the ``examples/`` walkthroughs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.config import SimConfig
-from repro.core.policy import FaultTolerance
-from repro.sim.failure import Fault, FaultSchedule
-from repro.sim.machine import Machine, RunResult
-from repro.sim.workload import Workload
-
-WorkloadFactory = Callable[[], Workload]
-PolicyFactory = Callable[[], FaultTolerance]
+from repro.api import Experiment, Session
+from repro.sim.machine import RunResult
 
 
-def run_once(
-    workload_factory: WorkloadFactory,
-    config: SimConfig,
-    policy_factory: PolicyFactory,
-    faults: FaultSchedule = FaultSchedule.none(),
-    collect_trace: bool = False,
-) -> RunResult:
-    """One deterministic machine run."""
-    machine = Machine(
-        config, workload_factory(), policy_factory(), collect_trace=collect_trace
+def _experiment(
+    workload: str,
+    policy: str,
+    processors: int,
+    seed: int,
+    cost: Optional[Dict[str, float]] = None,
+) -> Experiment:
+    builder = (
+        Experiment.workload(workload).policy(policy).processors(processors).seed(seed)
     )
-    return machine.run(faults=faults)
+    if cost:
+        builder.cost(**cost)
+    return builder
 
 
 def fault_free_makespan(
-    workload_factory: WorkloadFactory,
-    config: SimConfig,
-    policy_factory: PolicyFactory,
+    workload: str,
+    policy: str = "none",
+    processors: int = 4,
+    seed: int = 0,
+    session: Optional[Session] = None,
 ) -> float:
     """Makespan of the fault-free run (the baseline for fault fractions)."""
-    result = run_once(workload_factory, config, policy_factory)
-    if not result.completed:
-        raise RuntimeError(f"fault-free run stalled: {result.stall_reason}")
-    return result.makespan
+    handle = (session or Session()).run(
+        _experiment(workload, policy, processors, seed)
+    )
+    if not handle.record["completed"]:
+        raise RuntimeError(
+            f"fault-free run stalled: {handle.result.stall_reason}"
+        )
+    return handle.record["makespan"]
 
 
 @dataclass(frozen=True)
@@ -71,7 +78,7 @@ class OverheadRow:
     workload: str
     policy: str
     makespan: float
-    overhead_vs_none: float  # makespan ratio to the no-FT run
+    overhead_vs_none: float  # makespan ratio to the first (reference) policy
     checkpoints: int
     peak_checkpoints: int
     messages: int
@@ -89,31 +96,42 @@ class OverheadRow:
 
 
 def overhead_sweep(
-    workloads: Dict[str, WorkloadFactory],
-    policies: Dict[str, PolicyFactory],
-    config: SimConfig,
+    workloads: Sequence[str],
+    policies: Sequence[str],
+    processors: int = 4,
+    seed: int = 0,
+    session: Optional[Session] = None,
 ) -> List[OverheadRow]:
-    """Fault-free overhead of each policy relative to no fault tolerance."""
+    """Fault-free overhead of each policy relative to the first one.
+
+    ``workloads`` and ``policies`` are spec strings (the full grammars
+    of :class:`~repro.api.WorkloadSpec` / :class:`~repro.api.PolicySpec`);
+    list ``"none"`` first so the ratio reads as overhead-vs-no-FT.
+    """
+    session = session or Session()
     rows: List[OverheadRow] = []
-    for wname, wfactory in workloads.items():
+    for workload in workloads:
         base: Optional[float] = None
-        for pname, pfactory in policies.items():
-            result = run_once(wfactory, config, pfactory)
-            if not result.completed:
+        for policy in policies:
+            handle = session.run(_experiment(workload, policy, processors, seed))
+            record = handle.record
+            if not record["completed"]:
                 raise RuntimeError(
-                    f"fault-free {wname}/{pname} stalled: {result.stall_reason}"
+                    f"fault-free {workload}/{policy} stalled: "
+                    f"{handle.result.stall_reason}"
                 )
             if base is None:
-                base = result.makespan
+                base = record["makespan"]
+            metrics = record["metrics"]
             rows.append(
                 OverheadRow(
-                    workload=wname,
-                    policy=pname,
-                    makespan=result.makespan,
-                    overhead_vs_none=result.makespan / base,
-                    checkpoints=result.metrics.checkpoints_recorded,
-                    peak_checkpoints=result.metrics.checkpoint_peak_held,
-                    messages=result.metrics.messages_total,
+                    workload=workload,
+                    policy=policy,
+                    makespan=record["makespan"],
+                    overhead_vs_none=record["makespan"] / base,
+                    checkpoints=metrics["checkpoints_recorded"],
+                    peak_checkpoints=metrics["checkpoint_peak_held"],
+                    messages=metrics["messages_total"],
                 )
             )
     return rows
@@ -148,41 +166,45 @@ class FaultSweepPoint:
 
 
 def fault_time_sweep(
-    workload_factory: WorkloadFactory,
-    config: SimConfig,
-    policies: Dict[str, PolicyFactory],
+    workload: str,
+    policies: Sequence[str],
     fractions: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
     victim: int = 1,
+    processors: int = 4,
+    seed: int = 0,
+    session: Optional[Session] = None,
 ) -> List[FaultSweepPoint]:
     """Recovery cost as a function of when the fault strikes.
 
-    The fault time is ``fraction × fault-free makespan``; the fault-free
-    makespan is measured per policy so overheads don't skew fractions.
+    The fault time is ``fraction × fault-free makespan``, anchored per
+    policy on its own baseline (the default ``base_policy``), exactly as
+    the registry's ``rollback-vs-splice`` scenario does; the session's
+    process-wide baseline memo pays each baseline run once.
     """
+    session = session or Session()
     points: List[FaultSweepPoint] = []
-    for pname, pfactory in policies.items():
-        base = fault_free_makespan(workload_factory, config, pfactory)
+    for policy in policies:
         for fraction in fractions:
-            fault_time = max(1.0, fraction * base)
-            result = run_once(
-                workload_factory,
-                config,
-                pfactory,
-                faults=FaultSchedule.single(fault_time, victim),
+            handle = session.run(
+                _experiment(workload, policy, processors, seed).fault(
+                    fraction, victim
+                )
             )
+            record = handle.record
+            metrics = record["metrics"]
             points.append(
                 FaultSweepPoint(
-                    policy=pname,
+                    policy=policy,
                     fraction=fraction,
-                    fault_time=fault_time,
-                    completed=result.completed,
-                    correct=result.correct,
-                    makespan=result.makespan,
-                    slowdown=result.makespan / base,
-                    wasted_steps=result.metrics.steps_wasted,
-                    salvaged_results=result.metrics.results_salvaged,
-                    reissued=result.metrics.tasks_reissued,
-                    twins=result.metrics.twins_created,
+                    fault_time=record["fault_times"][0],
+                    completed=record["completed"],
+                    correct=record["correct"],
+                    makespan=record["makespan"],
+                    slowdown=record["slowdown"],
+                    wasted_steps=metrics["steps_wasted"],
+                    salvaged_results=metrics["results_salvaged"],
+                    reissued=metrics["tasks_reissued"],
+                    twins=metrics["twins_created"],
                 )
             )
     return points
@@ -205,40 +227,54 @@ class ScalingPoint:
 
 
 def scaling_sweep(
-    workload_factory: WorkloadFactory,
-    config: SimConfig,
-    policy_factory: PolicyFactory,
+    workload: str,
+    policy: str = "none",
     processor_counts: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 0,
+    session: Optional[Session] = None,
 ) -> List[ScalingPoint]:
-    """Speedup vs processor count (Rediflow-style substrate sanity)."""
+    """Speedup vs processor count (Rediflow-style substrate sanity).
+
+    Speedup anchors on the first processor count via the RunSpec's
+    ``speedup_base_processors`` knob, so every point carries its own
+    baseline comparison in the canonical record.
+    """
+    session = session or Session()
+    if not processor_counts:
+        raise ValueError("scaling_sweep needs at least one processor count")
+    base_processors = processor_counts[0]
     points: List[ScalingPoint] = []
-    base: Optional[float] = None
     for n in processor_counts:
-        cfg = config.with_(n_processors=n)
-        result = run_once(workload_factory, cfg, policy_factory)
-        if not result.completed:
-            raise RuntimeError(f"scaling run (P={n}) stalled: {result.stall_reason}")
-        if base is None:
-            base = result.makespan
-        util = result.metrics.utilization(result.makespan)
-        proc_util = [u for nid, u in util.items() if nid >= 0]
+        handle = session.run(
+            _experiment(workload, policy, n, seed).speedup_base(base_processors)
+        )
+        record = handle.record
+        if not record["completed"]:
+            raise RuntimeError(
+                f"scaling run (P={n}) stalled: {handle.result.stall_reason}"
+            )
         points.append(
             ScalingPoint(
                 processors=n,
-                makespan=result.makespan,
-                speedup=base / result.makespan,
-                utilization_mean=sum(proc_util) / max(1, len(proc_util)),
+                makespan=record["makespan"],
+                speedup=record["speedup"],
+                utilization_mean=record["utilization_mean"],
             )
         )
     return points
 
 
 def multi_fault_run(
-    workload_factory: WorkloadFactory,
-    config: SimConfig,
-    policy_factory: PolicyFactory,
+    workload: str,
     fault_times: Sequence[Tuple[float, int]],
+    policy: str = "splice",
+    processors: int = 6,
+    seed: int = 0,
+    session: Optional[Session] = None,
 ) -> RunResult:
-    """Run with several (time, node) faults (§5.2)."""
-    schedule = FaultSchedule.of(*(Fault(t, n) for t, n in fault_times))
-    return run_once(workload_factory, config, policy_factory, faults=schedule)
+    """Run with several absolute-time ``(time, node)`` faults (§5.2)."""
+    session = session or Session()
+    builder = _experiment(workload, policy, processors, seed)
+    for when, node in fault_times:
+        builder.fault(when, node, mode="time")
+    return session.run(builder).result

@@ -35,7 +35,14 @@ Or, batch form::
 See ``docs/API.md`` for the grammar reference and the full tour.
 """
 
-from repro.api.session import Experiment, RunHandle, Session, execute
+from repro.api.session import (
+    Experiment,
+    RunHandle,
+    Session,
+    execute,
+    replicate,
+    replicate_seeds,
+)
 from repro.api.specs import (
     RUNSPEC_SCHEMA,
     FaultSpec,
@@ -62,4 +69,6 @@ __all__ = [
     "SpecError",
     "WorkloadSpec",
     "execute",
+    "replicate",
+    "replicate_seeds",
 ]

@@ -22,6 +22,7 @@ runs, and registry sweeps can never drift apart.
 
 from __future__ import annotations
 
+import hashlib
 import statistics
 from dataclasses import dataclass, replace
 from functools import lru_cache, partial
@@ -233,6 +234,52 @@ def execute(
         if spec.speedup_base_processors is not None:
             out["speedup"] = round(base_makespan / result.makespan, 6)
     return RunHandle(spec=spec, result=result, record=out, baseline=base)
+
+
+# -- seed-set replication ------------------------------------------------------
+
+
+def replicate_seeds(spec: RunSpec, n: int) -> List[int]:
+    """The deterministic seed set for ``n`` replicates of one RunSpec.
+
+    Seed 0 is the spec's own seed; seeds 1..n-1 derive from the sha256
+    of the spec's canonical JSON document plus the replicate index —
+    reproducible across processes and machines, never from ``hash()``
+    or run order.  The replication axis therefore lives entirely in the
+    seed: every replicate describes the same experiment at a different
+    point of the stochastic stream.
+    """
+    n = int(n)
+    if n < 1:
+        raise SpecError("replicates need n >= 1", field="replications", value=n)
+    from repro.util.jsonio import compact_dumps
+
+    doc = compact_dumps(spec.to_json())
+    seeds = [spec.seed]
+    for r in range(1, n):
+        digest = hashlib.sha256(f"{doc}#replicate={r}".encode("utf-8")).digest()
+        seeds.append(int.from_bytes(digest[:8], "big") >> 1)
+    return seeds
+
+
+def replicate(spec: "SpecLike", n: int) -> List[RunSpec]:
+    """Expand one spec into ``n`` deterministically-seeded RunSpecs.
+
+    Replicate 0 is the resolved spec itself, so ``replicate(spec, 1)``
+    is the identity; the rest differ only in ``seed``
+    (:func:`replicate_seeds`).  This is the API-level counterpart of
+    the scenario ``replications`` axis — feed the list to
+    :meth:`Session.run_many` or aggregate the records with
+    :mod:`repro.report`.  The two layers deliberately derive their
+    seed sets from different identities (the RunSpec document here;
+    the scenario name + cell params in ``exp.scenario.replicate_seed``),
+    so replicates 1..N-1 of a grid cell and of its extracted RunSpec
+    are *different draws* — equally valid, not interchangeable.  To
+    reproduce a sweep's exact replicate runs, replay the seeds recorded
+    in its report (``CellSummary.seeds``) or cached points.
+    """
+    base = Session.resolve(spec)
+    return [replace(base, seed=seed) for seed in replicate_seeds(base, n)]
 
 
 # -- the fluent builder --------------------------------------------------------
@@ -454,3 +501,11 @@ class Session:
     def run_many(self, specs: Iterable[SpecLike]) -> List[RunHandle]:
         """Execute several specs in order, returning their handles."""
         return [self.run(spec) for spec in specs]
+
+    def run_replicates(self, spec: SpecLike, n: int) -> List[RunHandle]:
+        """Execute ``n`` deterministically-seeded replicates of one spec.
+
+        Sugar for ``run_many(replicate(spec, n))``; the handles arrive
+        in replicate order (replicate 0 = the spec's own seed).
+        """
+        return self.run_many(replicate(spec, n))

@@ -12,6 +12,8 @@
     python -m repro exp show chaos-storm --json
     python -m repro faults list
     python -m repro faults describe partition
+    python -m repro report run rollback-vs-splice --replications 5
+    python -m repro report compare rollback-vs-splice --axis policy
     python -m repro perf run --quick
     python -m repro perf compare BENCH_core.json
 
@@ -28,7 +30,14 @@ process-pool fan-out and on-disk result caching (see
 ``docs/SCENARIOS.md``).  The ``faults`` subcommands drive the
 fault-model registry (:mod:`repro.faults`): ``faults list`` shows
 every registered nemesis model and ``faults describe`` one model's
-parameters and spec grammar (see ``docs/FAULTS.md``).  The ``perf``
+parameters and spec grammar (see ``docs/FAULTS.md``).  The ``report``
+subcommands drive the statistical reporting subsystem
+(:mod:`repro.report`): ``report run`` aggregates a (replicated) sweep
+into per-point median/IQR/bootstrap-CI summaries, ``report compare``
+pairs two scenarios — or two values of one axis — with delta confidence
+intervals, and ``report list`` shows where each scenario's report
+lands; Markdown + JSON pairs are written under ``results/reports/``
+(see ``docs/REPORTS.md``).  The ``perf``
 subcommands drive the
 benchmark subsystem (:mod:`repro.perf`): ``perf list`` shows the
 registered benchmarks, ``perf run`` measures them into canonical JSON
@@ -202,6 +211,79 @@ def build_parser() -> argparse.ArgumentParser:
         "describe", help="print one fault model's parameters and an example spec"
     )
     faults_desc.add_argument("model", help="model name (see `repro faults list`)")
+
+    report = sub.add_parser(
+        "report", help="statistical reports over (replicated) scenario sweeps"
+    )
+    report_sub = report.add_subparsers(dest="report_command", required=True)
+    report_sub.add_parser(
+        "list", help="list scenarios and where their reports land"
+    )
+
+    def _report_common(p) -> None:
+        p.add_argument(
+            "--replications", type=int, default=None, metavar="N",
+            help="replicates per grid point (default: the registered spec's, "
+            "usually 1); replicate seeds are derived deterministically",
+        )
+        p.add_argument(
+            "--workers", type=int, default=1, help="process-pool width (1 = serial)"
+        )
+        p.add_argument(
+            "--cache-dir", default="results",
+            help="sweep result-cache root (default: ./results)",
+        )
+        p.add_argument(
+            "--out-dir", default=None, metavar="DIR",
+            help="where the Markdown+JSON pair is written "
+            "(default: <cache-dir>/reports)",
+        )
+        p.add_argument(
+            "--force", action="store_true",
+            help="recompute the sweep even if cached",
+        )
+        p.add_argument(
+            "--level", type=float, default=0.95,
+            help="confidence level for the bootstrap intervals (default: 0.95)",
+        )
+        p.add_argument(
+            "--boot", type=int, default=1000, metavar="B",
+            help="bootstrap resamples (default: 1000)",
+        )
+        p.add_argument(
+            "--no-write", action="store_true",
+            help="print only; write no report files",
+        )
+        p.add_argument(
+            "--json", action="store_true",
+            help="print the canonical report JSON instead of the Markdown",
+        )
+
+    report_run = report_sub.add_parser(
+        "run", help="aggregate one scenario's sweep into a statistical report"
+    )
+    report_run.add_argument("scenario", help="scenario name (see `repro exp list`)")
+    _report_common(report_run)
+    report_cmp = report_sub.add_parser(
+        "compare",
+        help="pair two scenarios (or two values of one axis) with delta CIs",
+    )
+    report_cmp.add_argument("scenario", help="base scenario name")
+    report_cmp.add_argument(
+        "other", nargs="?", default=None,
+        help="second scenario (cells joined on the shared axes); omit to "
+        "compare within one scenario via --axis",
+    )
+    report_cmp.add_argument(
+        "--axis", default=None,
+        help="within-scenario comparison axis (e.g. policy); the baseline "
+        "is the axis's first value unless --baseline is given",
+    )
+    report_cmp.add_argument(
+        "--baseline", default=None,
+        help="baseline value of --axis (default: its first value)",
+    )
+    _report_common(report_cmp)
 
     perf = sub.add_parser("perf", help="benchmark subsystem: measure and compare")
     perf_sub = perf.add_subparsers(dest="perf_command", required=True)
@@ -411,7 +493,7 @@ def cmd_exp_show(args, out) -> int:
 def _render_exp_show(spec, args, out, expand) -> int:
     if args.json:
         from repro.exp import expanded_runspecs
-        from repro.util.jsonio import canonical_dumps
+        from repro.util.jsonio import emit_json
 
         # one grid expansion + parse serves both the key and the points
         docs = expanded_runspecs(spec) if spec.runner == "machine" else None
@@ -433,7 +515,7 @@ def _render_exp_show(spec, args, out, expand) -> int:
             "n_points": spec.n_points(),
             "points": points,
         }
-        print(canonical_dumps(payload), file=out, end="")
+        emit_json(payload, out=out)
         return 0
     print(f"{spec.name}: {spec.title}", file=out)
     print(f"  runner:  {spec.runner}   points: {spec.n_points()}   key: {spec.key()}", file=out)
@@ -469,7 +551,9 @@ def cmd_exp_run(args, out) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.json:
-        print(sweep.to_json(), file=out, end="")
+        from repro.util.jsonio import emit_json
+
+        emit_json(sweep.payload(), out=out)
     else:
         print(sweep_table(sweep, spec), file=out)
         if sweep.cache_path:
@@ -536,6 +620,113 @@ def cmd_faults_describe(args, out) -> int:
     return 0
 
 
+def cmd_report_list(out) -> int:
+    from repro.exp import all_scenarios
+    from repro.report import DEFAULT_OUT_DIR
+
+    rows = [
+        [spec.name, spec.runner, spec.n_cells(), spec.replications,
+         f"{spec.name}.md"]
+        for spec in all_scenarios().values()
+    ]
+    print(
+        format_table(
+            ["scenario", "runner", "cells", "replications", "report file"],
+            rows,
+            title=f"Reports (written under {DEFAULT_OUT_DIR}/)",
+        ),
+        file=out,
+    )
+    print(
+        "\n`repro report run NAME --replications N` aggregates a replicated "
+        "sweep;\n`repro report compare NAME --axis AXIS` (or `NAME OTHER`) "
+        "adds delta CIs\n(docs/REPORTS.md has the methodology)",
+        file=out,
+    )
+    return 0
+
+
+def _report_out_dir(args) -> Optional[str]:
+    import os
+
+    if args.no_write:
+        return None
+    if args.out_dir is not None:
+        return args.out_dir
+    return os.path.join(args.cache_dir, "reports")
+
+
+def _print_report(result, args, out) -> None:
+    from repro.util.jsonio import emit_json
+
+    if args.json:
+        emit_json(result.payload, out=out)
+        return
+    print(result.markdown, file=out, end="")
+    if result.markdown_path:
+        print(f"\nwrote {result.markdown_path}", file=out)
+        print(f"wrote {result.json_path}", file=out)
+
+
+def cmd_report_run(args, out) -> int:
+    from repro.report import run_report
+
+    try:
+        result = run_report(
+            args.scenario,
+            replications=args.replications,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            out_dir=_report_out_dir(args),
+            force=args.force,
+            level=args.level,
+            n_boot=args.boot,
+        )
+    except (KeyError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_report(result, args, out)
+    return 0
+
+
+def _coerce_axis_value(spec, axis: Optional[str], raw: Optional[str]):
+    """Match a --baseline string against the axis's typed values."""
+    if raw is None or axis is None or axis not in spec.axes:
+        return raw
+    for value in spec.axes[axis]:
+        if str(value) == raw:
+            return value
+    return raw  # let split_compare produce the structured diagnostic
+
+
+def cmd_report_compare(args, out) -> int:
+    from repro.exp import get_scenario
+    from repro.report import run_compare
+
+    try:
+        baseline = _coerce_axis_value(
+            get_scenario(args.scenario), args.axis, args.baseline
+        )
+        result = run_compare(
+            args.scenario,
+            other=args.other,
+            axis=args.axis,
+            baseline=baseline,
+            replications=args.replications,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            out_dir=_report_out_dir(args),
+            force=args.force,
+            level=args.level,
+            n_boot=args.boot,
+        )
+    except (KeyError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_report(result, args, out)
+    return 0
+
+
 def cmd_perf_list(out) -> int:
     from repro.perf import all_benches
 
@@ -552,7 +743,7 @@ def cmd_perf_list(out) -> int:
 
 def cmd_perf_run(args, out) -> int:
     from repro.perf import run_suite, suite_table
-    from repro.util.jsonio import write_canonical_json
+    from repro.util.jsonio import emit_json
 
     try:
         payload = run_suite(names=args.only or None, quick=args.quick)
@@ -560,9 +751,7 @@ def cmd_perf_run(args, out) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.json:
-        from repro.util.jsonio import canonical_dumps
-
-        print(canonical_dumps(payload), file=out, end="")
+        emit_json(payload, out=out)
     else:
         print(suite_table(payload), file=out)
     # Only a full-mode, full-suite run may default onto the committed
@@ -573,7 +762,7 @@ def cmd_perf_run(args, out) -> int:
     if out_path is None and not args.quick and not args.only:
         out_path = "BENCH_core.json"
     if out_path is not None and not args.no_write:
-        write_canonical_json(out_path, payload)
+        emit_json(payload, path=out_path)
         if not args.json:
             print(f"wrote {out_path}", file=out)
     elif out_path is None and not args.json:
@@ -640,6 +829,12 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         if args.faults_command == "list":
             return cmd_faults_list(out)
         return cmd_faults_describe(args, out)
+    if args.command == "report":
+        if args.report_command == "list":
+            return cmd_report_list(out)
+        if args.report_command == "run":
+            return cmd_report_run(args, out)
+        return cmd_report_compare(args, out)
     if args.command == "perf":
         if args.perf_command == "list":
             return cmd_perf_list(out)

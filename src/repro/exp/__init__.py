@@ -19,6 +19,8 @@ from repro.exp.scenario import (
     point_runspec,
     point_seed,
     register,
+    replicate_seed,
+    with_replications,
 )
 
 __all__ = [
@@ -32,6 +34,8 @@ __all__ = [
     "point_runspec",
     "point_seed",
     "register",
+    "replicate_seed",
     "run_scenario",
     "sweep_table",
+    "with_replications",
 ]

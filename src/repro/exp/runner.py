@@ -26,7 +26,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from repro.exp.points import RUNNERS
-from repro.exp.scenario import Point, ScenarioSpec, expand, get_scenario
+from repro.exp.scenario import (
+    Point,
+    ScenarioSpec,
+    expand,
+    get_scenario,
+    with_replications,
+)
 from repro.util.jsonio import canonical_dumps, write_atomic
 
 
@@ -40,14 +46,18 @@ def run_point(spec: ScenarioSpec, point: Point) -> Dict[str, Any]:
     return RUNNERS[spec.runner](point.params)
 
 
-def _run_point_by_index(scenario_name: str, index: int) -> Dict[str, Any]:
+def _run_point_by_index(
+    scenario_name: str, index: int, replications: int = 1
+) -> Dict[str, Any]:
     """Worker entry: re-resolve the point from the registry and run it.
 
-    Only the scenario name and point index cross the process boundary,
-    so the worker recomputes the same parameters and seed the parent
-    would have used — nothing depends on pickled closures.
+    Only the scenario name, point index, and replication count cross
+    the process boundary, so the worker recomputes the same parameters
+    and seed the parent would have used — nothing depends on pickled
+    closures.  ``replications`` re-derives a replicated view of the
+    registered spec (the parent may be sweeping ``with_replications``).
     """
-    spec = get_scenario(scenario_name)
+    spec = with_replications(get_scenario(scenario_name), replications)
     return run_point(spec, expand(spec)[index])
 
 
@@ -60,10 +70,19 @@ class SweepResult:
     points: List[Dict[str, Any]] = field(default_factory=list)
     cache_hit: bool = False
     cache_path: Optional[str] = None
+    replications: int = 1
 
     def payload(self) -> Dict[str, Any]:
-        """The JSON document that is cached and printed by ``--json``."""
-        return {"scenario": self.scenario, "key": self.key, "points": self.points}
+        """The JSON document that is cached and printed by ``--json``.
+
+        ``replications`` appears only when it is not 1, so unreplicated
+        payloads stay byte-identical to the pre-replication format (the
+        golden digests pin this).
+        """
+        doc = {"scenario": self.scenario, "key": self.key, "points": self.points}
+        if self.replications != 1:
+            doc["replications"] = self.replications
+        return doc
 
     def to_json(self) -> str:
         """Canonical rendering — byte-identical for identical results.
@@ -78,12 +97,45 @@ class SweepResult:
         return [p["result"] for p in self.points]
 
     def by_axes(self, *axis_names: str) -> Dict[Any, Dict[str, Any]]:
-        """Index results by axis value(s): 1 name -> value, else tuple."""
+        """Index results by axis value(s): 1 name -> value, else tuple.
+
+        On a *replicated* sweep every axis assignment maps to several
+        points, so a single-result index would silently pick one
+        replicate; that is refused — aggregate replicates with
+        :func:`repro.report.aggregate_sweep` instead.  (Unreplicated
+        sweeps keep the historical projection semantics: with a subset
+        of the axes, later points overwrite earlier ones.)
+        """
+        if any(p.get("replicate") for p in self.points):
+            raise ValueError(
+                "by_axes on a replicated sweep would pick an arbitrary "
+                "replicate per cell; use repro.report.aggregate_sweep "
+                "for per-cell statistics"
+            )
         out: Dict[Any, Dict[str, Any]] = {}
         for p in self.points:
             key = tuple(p["params"][a] for a in axis_names)
             out[key[0] if len(axis_names) == 1 else key] = p["result"]
         return out
+
+
+def _point_entry(
+    spec: ScenarioSpec, point: Point, result: Dict[str, Any]
+) -> Dict[str, Any]:
+    """One cached per-point entry.
+
+    The ``replicate`` key appears only for replicated sweeps, keeping
+    unreplicated payloads byte-identical to the historical format.
+    """
+    entry = {
+        "index": point.index,
+        "params": dict(point.params),
+        "seed": point.seed,
+        "result": result,
+    }
+    if spec.replications != 1:
+        entry["replicate"] = point.replicate
+    return entry
 
 
 def _load_cached(path: str) -> Optional[Dict[str, Any]]:
@@ -124,6 +176,7 @@ def run_scenario(
                 points=payload["points"],
                 cache_hit=True,
                 cache_path=path,
+                replications=spec.replications,
             )
 
     points = expand(spec)
@@ -134,6 +187,7 @@ def run_scenario(
                     _run_point_by_index,
                     [spec.name] * len(points),
                     range(len(points)),
+                    [spec.replications] * len(points),
                 )
             )
     else:
@@ -143,16 +197,12 @@ def run_scenario(
         scenario=spec.name,
         key=key,
         points=[
-            {
-                "index": point.index,
-                "params": dict(point.params),
-                "seed": point.seed,
-                "result": result,
-            }
+            _point_entry(spec, point, result)
             for point, result in zip(points, results)
         ],
         cache_hit=False,
         cache_path=path,
+        replications=spec.replications,
     )
     if path:
         write_atomic(path, sweep.to_json())
@@ -166,10 +216,13 @@ def sweep_table(sweep: SweepResult, spec: Optional[ScenarioSpec] = None) -> str:
     spec = spec if spec is not None else get_scenario(sweep.scenario)
     axis_names = list(spec.axes)
     columns = list(spec.columns)
-    header = ["#"] + axis_names + columns
+    replicated = any("replicate" in p for p in sweep.points)
+    header = ["#"] + (["rep"] if replicated else []) + axis_names + columns
     rows = []
     for p in sweep.points:
         row: List[Any] = [p["index"]]
+        if replicated:
+            row.append(p.get("replicate", 0))
         row += [p["params"].get(a) for a in axis_names]
         for col in columns:
             value = p["result"].get(col, p["result"].get("metrics", {}).get(col))

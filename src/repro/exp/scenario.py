@@ -32,21 +32,25 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 
 def canonical_json(payload: Any) -> str:
-    """Serialize ``payload`` to a canonical JSON string.
+    """Serialize ``payload`` to a canonical compact JSON string.
 
-    Sorted keys and fixed separators make the encoding byte-stable, so it
-    can back both spec hashing and the on-disk result cache.
+    Sorted keys and fixed separators make the encoding byte-stable, so
+    it can back spec hashing, per-point seeds, and the on-disk result
+    cache.  Delegates to the one compact encoder in
+    :mod:`repro.util.jsonio` — every sha256-derived identity in the
+    repo hashes the same bytes.
 
     >>> canonical_json({"b": 1, "a": [1.5, "x"]})
     '{"a":[1.5,"x"],"b":1}'
     """
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    from repro.util.jsonio import compact_dumps
+
+    return compact_dumps(payload)
 
 
 def stable_hash(payload: Any, length: int = 16) -> str:
@@ -84,6 +88,12 @@ class ScenarioSpec:
     #: into a nonzero exit code.
     expect_failures: bool = False
     version: int = 1
+    #: Expand every grid cell into this many deterministically-seeded
+    #: replicates (replicate 0 keeps the cell's historical seed, so
+    #: ``replications=1`` is byte-identical to a spec without the
+    #: field).  The report subsystem aggregates the replicates into
+    #: median/IQR/bootstrap-CI summaries — see docs/REPORTS.md.
+    replications: int = 1
 
     def identity(self) -> Dict[str, Any]:
         """The JSON payload that defines this spec's result-cache key.
@@ -98,6 +108,10 @@ class ScenarioSpec:
         the cache key is a function of what each point *means* — any
         change to the RunSpec schema or to how params resolve into specs
         invalidates stale sweeps even if ``base``/``axes`` look equal.
+
+        ``replications`` enters the payload only when it is not 1, so
+        every pre-replication cache key (and the committed perf-check
+        key for the ``smoke`` sweep) is preserved byte-for-byte.
         """
         from repro.exp.points import RUNNER_VERSIONS
 
@@ -109,6 +123,8 @@ class ScenarioSpec:
             "axes": {k: list(v) for k, v in self.axes.items()},
             "version": self.version,
         }
+        if self.replications != 1:
+            payload["replications"] = self.replications
         if self.runner == "machine":
             payload["runspecs"] = expanded_runspecs(self)
         return payload
@@ -129,21 +145,56 @@ class ScenarioSpec:
             object.__setattr__(self, "_key_cache", cached)
         return cached
 
-    def n_points(self) -> int:
+    def n_cells(self) -> int:
+        """Number of grid cells (axis combinations, ignoring replication)."""
         total = 1
         for values in self.axes.values():
             total *= len(values)
         return total
 
+    def n_points(self) -> int:
+        return self.n_cells() * max(1, self.replications)
+
+
+def with_replications(spec: ScenarioSpec, replications: int) -> ScenarioSpec:
+    """A copy of ``spec`` expanding each grid cell into N replicates.
+
+    ``replications=1`` returns a spec whose identity, key, and expansion
+    are byte-identical to the original, so derived specs reuse the same
+    result cache as the registered one.
+
+    Raises :class:`~repro.errors.SpecError` (the CLI's one-line exit-2
+    diagnostic, like every other malformed spec input) for counts < 1.
+    """
+    from dataclasses import replace
+
+    from repro.errors import SpecError
+
+    replications = int(replications)
+    if replications < 1:
+        raise SpecError(
+            f"replications must be >= 1, got {replications}",
+            field="replications", value=replications,
+        )
+    if replications == spec.replications:
+        return spec
+    return replace(spec, replications=replications)
+
 
 @dataclass(frozen=True)
 class Point:
-    """One cell of a scenario's grid: merged parameters plus a seed."""
+    """One cell of a scenario's grid: merged parameters plus a seed.
+
+    ``replicate`` numbers the point within its grid cell (always 0 for
+    unreplicated sweeps); replicate 0 carries the cell's historical
+    seed, later replicates carry derived seeds (:func:`replicate_seed`).
+    """
 
     scenario: str
     index: int
     params: Mapping[str, Any]
     seed: int
+    replicate: int = 0
 
     def axis_values(self, spec: ScenarioSpec) -> Dict[str, Any]:
         """Just this point's values along the spec's sweep axes."""
@@ -163,6 +214,25 @@ def point_seed(scenario_name: str, params: Mapping[str, Any]) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+def replicate_seed(
+    scenario_name: str, params: Mapping[str, Any], replicate: int
+) -> int:
+    """Deterministic 63-bit seed for replicate ``r >= 1`` of one cell.
+
+    ``params`` is the cell's replicate-0 parameter assignment (its
+    historical seed included, pinned or derived), so the whole seed set
+    of a cell is a pure function of the replicate-0 point — stable
+    across machines, worker counts, and runs, and distinct per cell,
+    per scenario, and per replicate index.
+    """
+    digest = hashlib.sha256(
+        canonical_json([scenario_name, dict(params), "replicate", replicate]).encode(
+            "utf-8"
+        )
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
 def expand(spec: ScenarioSpec) -> List[Point]:
     """Expand a spec into its ordered point list.
 
@@ -172,23 +242,36 @@ def expand(spec: ScenarioSpec) -> List[Point]:
 
     If the merged parameters carry no explicit ``seed``, each point gets
     a derived deterministic seed under the ``"seed"`` key.
+
+    With ``replications > 1`` each grid cell yields ``replications``
+    consecutive points (replicate varies fastest).  Replicate 0 is
+    byte-identical to the unreplicated point; replicates 1..N-1 replace
+    the ``seed`` parameter with :func:`replicate_seed`.
     """
     names = list(spec.axes)
     value_lists = [spec.axes[n] for n in names]
+    replications = max(1, spec.replications)
     points: List[Point] = []
-    for index, combo in enumerate(itertools.product(*value_lists)):
-        params: Dict[str, Any] = dict(spec.base)
-        params.update(zip(names, combo))
-        if "seed" not in params:
-            params["seed"] = point_seed(spec.name, params)
-        points.append(
-            Point(
-                scenario=spec.name,
-                index=index,
-                params=params,
-                seed=params["seed"],
+    index = 0
+    for combo in itertools.product(*value_lists):
+        cell: Dict[str, Any] = dict(spec.base)
+        cell.update(zip(names, combo))
+        if "seed" not in cell:
+            cell["seed"] = point_seed(spec.name, cell)
+        for replicate in range(replications):
+            params = dict(cell)
+            if replicate > 0:
+                params["seed"] = replicate_seed(spec.name, cell, replicate)
+            points.append(
+                Point(
+                    scenario=spec.name,
+                    index=index,
+                    params=params,
+                    seed=params["seed"],
+                    replicate=replicate,
+                )
             )
-        )
+            index += 1
     return points
 
 

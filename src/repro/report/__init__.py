@@ -1,0 +1,76 @@
+"""``repro.report`` — statistical reports over replicated sweeps.
+
+The scenario registry answers *what happened at each grid point*; this
+package answers *how sure are we*.  It aggregates the replicates of a
+(cached) sweep into per-point median/IQR/bootstrap-CI summaries
+(:mod:`repro.report.aggregate`), pairs two scenarios — or two values of
+one axis — point-by-point and reports deltas with confidence intervals
+(:mod:`repro.report.compare`), and renders the result as Markdown and
+canonical JSON under ``results/reports/``
+(:mod:`repro.report.emit`, :mod:`repro.report.driver`).
+
+Everything is deterministic: replicate seeds derive from sha256 of the
+point parameters, the bootstrap resampler is seeded from a stable hash
+of ``(scenario, cell, metric)``, and the emitters carry no timestamps —
+the same cached sweep always yields byte-identical reports.
+
+Quickstart::
+
+    from repro.report import run_report, run_compare
+
+    rep = run_report("rollback-vs-splice", replications=5)
+    print(rep.markdown_path)            # results/reports/rollback-vs-splice.md
+
+    cmp = run_compare("rollback-vs-splice", axis="policy", replications=5)
+    print(cmp.markdown_path)
+
+The CLI face is ``repro report run|compare|list``; see docs/REPORTS.md.
+"""
+
+from repro.report.aggregate import (
+    CellSummary,
+    MetricSummary,
+    SweepAggregate,
+    aggregate_sweep,
+)
+from repro.report.compare import (
+    CellDelta,
+    Comparison,
+    MetricDelta,
+    compare_aggregates,
+    split_compare,
+)
+from repro.report.driver import (
+    DEFAULT_OUT_DIR,
+    ReportResult,
+    run_compare,
+    run_report,
+)
+from repro.report.emit import (
+    REPORT_SCHEMA,
+    compare_payload,
+    markdown_compare,
+    markdown_report,
+    report_payload,
+)
+
+__all__ = [
+    "DEFAULT_OUT_DIR",
+    "REPORT_SCHEMA",
+    "CellDelta",
+    "CellSummary",
+    "Comparison",
+    "MetricDelta",
+    "MetricSummary",
+    "ReportResult",
+    "SweepAggregate",
+    "aggregate_sweep",
+    "compare_aggregates",
+    "compare_payload",
+    "markdown_compare",
+    "markdown_report",
+    "report_payload",
+    "run_compare",
+    "run_report",
+    "split_compare",
+]

@@ -1,0 +1,272 @@
+"""Render aggregates and comparisons as Markdown and canonical JSON.
+
+The JSON form (schema ``repro-report/1``) is the machine-readable
+artifact: every metric's full summary plus the raw per-replicate
+samples, serialized through :mod:`repro.util.jsonio` so identical
+inputs give identical bytes.  The Markdown form is the human-readable
+artifact CI uploads: per-point tables of median / IQR / bootstrap CI
+restricted to the scenario's display columns, the regenerated paper
+figure blocks for ``figure`` scenarios, and delta tables (with a ``*``
+marker where the confidence interval excludes zero) for comparisons.
+
+Neither form embeds timestamps, hostnames, or environment data — a
+report is a pure function of the cached sweep it was built from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.report.aggregate import (
+    CellSummary,
+    SweepAggregate,
+    display_metrics,
+    select_display,
+)
+from repro.report.compare import Comparison
+
+#: Schema tag carried by every report JSON document.
+REPORT_SCHEMA = "repro-report/1"
+
+
+def _fmt(value: Optional[float]) -> str:
+    """Compact, deterministic number rendering for Markdown cells."""
+    if value is None:
+        return "—"
+    if isinstance(value, float) and value != value:  # NaN
+        return "nan"
+    return f"{value:.6g}"
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def _flags_line(flags, n: int) -> Optional[str]:
+    if not flags:
+        return None
+    parts = [f"{name} {count}/{n}" for name, count in sorted(flags.items())]
+    return "outcomes: " + ", ".join(parts)
+
+
+# -- JSON ----------------------------------------------------------------------
+
+
+def _cell_json(cell: CellSummary) -> Dict[str, Any]:
+    return {
+        "axes": [[name, value] for name, value in cell.axes],
+        "n": cell.n,
+        "seeds": list(cell.seeds),
+        "flags": dict(cell.flags),
+        "metrics": {name: summary.to_json() for name, summary in cell.metrics.items()},
+        "samples": {name: list(values) for name, values in cell.samples.items()},
+        "text": cell.text,
+    }
+
+
+def report_payload(aggregate: SweepAggregate) -> Dict[str, Any]:
+    """The canonical JSON document for one aggregated sweep."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "kind": "report",
+        "scenario": aggregate.scenario,
+        "title": aggregate.title,
+        "key": aggregate.key,
+        "replications": aggregate.replications,
+        "level": aggregate.level,
+        "n_boot": aggregate.n_boot,
+        "axes": list(aggregate.axes),
+        "columns": list(aggregate.columns),
+        "cells": [_cell_json(cell) for cell in aggregate.cells],
+    }
+
+
+def compare_payload(comparisons: Sequence[Comparison]) -> Dict[str, Any]:
+    """The canonical JSON document for one comparison report."""
+    if not comparisons:
+        raise ValueError("compare_payload needs at least one comparison")
+    first = comparisons[0]
+    return {
+        "schema": REPORT_SCHEMA,
+        "kind": "compare",
+        "base_scenario": first.base_scenario,
+        "other_scenario": first.other_scenario,
+        "level": first.level,
+        "comparisons": [
+            {
+                "base": cmp.base_label,
+                "other": cmp.other_label,
+                "join_axes": list(cmp.join_axes),
+                "cells": [
+                    {
+                        "axes": [[name, value] for name, value in cell.axes],
+                        "n_base": cell.n_base,
+                        "n_other": cell.n_other,
+                        "base_flags": dict(cell.base_flags),
+                        "other_flags": dict(cell.other_flags),
+                        "deltas": {
+                            name: delta.to_json()
+                            for name, delta in cell.deltas.items()
+                        },
+                    }
+                    for cell in cmp.cells
+                ],
+                "unmatched_base": [
+                    [[n, v] for n, v in axes] for axes in cmp.unmatched_base
+                ],
+                "unmatched_other": [
+                    [[n, v] for n, v in axes] for axes in cmp.unmatched_other
+                ],
+            }
+            for cmp in comparisons
+        ],
+    }
+
+
+# -- Markdown ------------------------------------------------------------------
+
+
+def markdown_report(
+    aggregate: SweepAggregate, description: Optional[str] = None
+) -> str:
+    """Render one aggregated sweep as a Markdown report."""
+    pct = f"{aggregate.level:.0%}"
+    out: List[str] = [
+        f"# Report: `{aggregate.scenario}` — {aggregate.title}",
+        "",
+    ]
+    if description:
+        out += [description, ""]
+    out += [
+        f"- sweep key: `{aggregate.key}`",
+        f"- replicates per point: {aggregate.replications} "
+        "(deterministic seed set; see docs/REPORTS.md)",
+        f"- intervals: median with IQR and {pct} percentile-bootstrap CI "
+        f"(B={aggregate.n_boot})",
+        "",
+    ]
+    for cell in aggregate.cells:
+        out.append(f"## {cell.label()}")
+        out.append("")
+        shown = display_metrics(aggregate, cell)
+        if shown:
+            rows = []
+            for metric in shown:
+                s = cell.metrics[metric]
+                rows.append(
+                    [
+                        f"`{metric}`",
+                        str(s.n),
+                        _fmt(s.median),
+                        f"[{_fmt(s.q1)}, {_fmt(s.q3)}]",
+                        f"[{_fmt(s.ci_low)}, {_fmt(s.ci_high)}]",
+                        _fmt(s.mean),
+                        f"[{_fmt(s.minimum)}, {_fmt(s.maximum)}]",
+                    ]
+                )
+            out.append(
+                _md_table(
+                    ["metric", "n", "median", "IQR", f"{pct} CI", "mean", "range"],
+                    rows,
+                )
+            )
+            out.append("")
+        flags = _flags_line(cell.flags, cell.n)
+        if flags:
+            out += [flags, ""]
+        if cell.text:
+            out += ["```text", cell.text, "```", ""]
+    return "\n".join(out).rstrip() + "\n"
+
+
+def markdown_compare(
+    comparisons: Sequence[Comparison], description: Optional[str] = None
+) -> str:
+    """Render one comparison (or an axis split of them) as Markdown."""
+    if not comparisons:
+        raise ValueError("markdown_compare needs at least one comparison")
+    first = comparisons[0]
+    pct = f"{first.level:.0%}"
+    if first.base_scenario == first.other_scenario:
+        head = f"# Compare: `{first.base_scenario}` — {first.base_label} vs others"
+        if len(comparisons) == 1:
+            head = (
+                f"# Compare: `{first.base_scenario}` — "
+                f"{first.base_label} vs {first.other_label}"
+            )
+    else:
+        head = f"# Compare: `{first.base_scenario}` vs `{first.other_scenario}`"
+    out: List[str] = [head, ""]
+    if description:
+        out += [description, ""]
+    out += [
+        f"- deltas are *other − base* medians; the {pct} CI is a "
+        "percentile bootstrap of the difference of medians "
+        "(independent resampling per side)",
+        "- `*` marks deltas whose CI excludes zero",
+        "",
+    ]
+    for cmp in comparisons:
+        out.append(f"## {cmp.base_label} → {cmp.other_label}")
+        out.append("")
+        for cell in cmp.cells:
+            if cell.axes:
+                out += [f"### {cell.label()}", ""]
+            metrics = _compare_metrics(cmp, cell)
+            if metrics:
+                rows = []
+                for metric in metrics:
+                    d = cell.deltas[metric]
+                    mark = " \\*" if d.significant else ""
+                    rows.append(
+                        [
+                            f"`{metric}`",
+                            _fmt(d.base_median),
+                            _fmt(d.other_median),
+                            f"{_fmt(d.delta)}{mark}",
+                            f"[{_fmt(d.ci_low)}, {_fmt(d.ci_high)}]",
+                            _fmt(d.ratio) + ("×" if d.ratio is not None else ""),
+                        ]
+                    )
+                out.append(
+                    _md_table(
+                        [
+                            "metric",
+                            cmp.base_label,
+                            cmp.other_label,
+                            "Δ",
+                            f"Δ {pct} CI",
+                            "ratio",
+                        ],
+                        rows,
+                    )
+                )
+                out.append("")
+            base_flags = _flags_line(cell.base_flags, cell.n_base)
+            other_flags = _flags_line(cell.other_flags, cell.n_other)
+            if base_flags or other_flags:
+                out += [
+                    f"base {base_flags or 'outcomes: (none)'}; "
+                    f"other {other_flags or 'outcomes: (none)'}",
+                    "",
+                ]
+        for tag, unmatched in (
+            ("base", cmp.unmatched_base),
+            ("other", cmp.unmatched_other),
+        ):
+            if unmatched:
+                labels = "; ".join(
+                    ", ".join(f"{n}={v}" for n, v in axes) for axes in unmatched
+                )
+                out += [f"unmatched {tag} cells (no partner): {labels}", ""]
+    return "\n".join(out).rstrip() + "\n"
+
+
+def _compare_metrics(cmp: Comparison, cell) -> List[str]:
+    """Display metrics for a compare table: makespan + the columns."""
+    return select_display(cmp.columns, cell.deltas)

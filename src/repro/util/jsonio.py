@@ -28,6 +28,20 @@ def canonical_dumps(payload: Any) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
+def compact_dumps(payload: Any) -> str:
+    """Canonical *compact* JSON: sorted keys, no whitespace.
+
+    The encoding every sha256-derived identity in the repo hashes —
+    spec cache keys, per-point seeds, replicate seed sets.  It lives in
+    exactly one place because a formatting tweak would silently change
+    every derived seed and cache key.
+
+    >>> compact_dumps({"b": 1, "a": [1.5, "x"]})
+    '{"a":[1.5,"x"],"b":1}'
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 def write_atomic(path: str, text: str) -> None:
     """Write ``text`` to ``path`` atomically (write-temp-then-rename).
 
@@ -52,6 +66,24 @@ def write_canonical_json(path: str, payload: Any) -> str:
     """Canonicalize ``payload`` and write it atomically; returns the text."""
     text = canonical_dumps(payload)
     write_atomic(path, text)
+    return text
+
+
+def emit_json(payload: Any, out=None, path: str | None = None) -> str:
+    """Render ``payload`` canonically; print to ``out``, write to ``path``.
+
+    The one output helper behind every JSON-emitting CLI verb
+    (``exp show --json``, ``exp run --json``, ``perf run --json``, the
+    ``report`` verbs): identical payloads produce identical bytes on
+    every surface, with no trailing-newline drift between the printed
+    and the written form.  Either destination may be omitted; the
+    canonical text is returned regardless.
+    """
+    text = canonical_dumps(payload)
+    if path is not None:
+        write_atomic(path, text)
+    if out is not None:
+        out.write(text)
     return text
 
 

@@ -80,6 +80,84 @@ def _erfinv(y: float) -> float:
     )
 
 
+def quartiles(values: Sequence[float]) -> tuple[float, float, float]:
+    """``(q1, median, q3)`` of a sample (linear interpolation).
+
+    The IQR pair the report subsystem prints next to every median; for a
+    single-element sample all three coincide.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take quartiles of an empty sample")
+    q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return (float(q1), float(med), float(q3))
+
+
+def bootstrap_median_ci(
+    values: Sequence[float],
+    level: float = 0.95,
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the sample median.
+
+    Resamples with replacement ``n_boot`` times from a PCG64 stream
+    seeded by ``seed``, so the interval is a pure function of
+    ``(values, level, n_boot, seed)`` — reports built from it are
+    byte-deterministic.  A single-element sample returns a degenerate
+    interval.
+    """
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    if int(n_boot) < 1:
+        raise ValueError(f"n_boot must be >= 1, got {n_boot}")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if arr.size == 1:
+        return (float(arr[0]), float(arr[0]))
+    rng = np.random.Generator(np.random.PCG64(seed))
+    idx = rng.integers(0, arr.size, size=(int(n_boot), arr.size))
+    medians = np.median(arr[idx], axis=1)
+    alpha = (1.0 - level) / 2.0
+    lo, hi = np.percentile(medians, [100.0 * alpha, 100.0 * (1.0 - alpha)])
+    return (float(lo), float(hi))
+
+
+def bootstrap_delta_ci(
+    base: Sequence[float],
+    other: Sequence[float],
+    level: float = 0.95,
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Bootstrap CI for ``median(other) - median(base)``.
+
+    The two samples are resampled independently (they come from
+    independently-seeded replicate runs), so the interval covers the
+    difference of medians under replicate-to-replicate variation.
+    Degenerate (both single-element) inputs return an exact interval.
+    """
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    if int(n_boot) < 1:
+        raise ValueError(f"n_boot must be >= 1, got {n_boot}")
+    a = np.asarray(list(base), dtype=float)
+    b = np.asarray(list(other), dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if a.size == 1 and b.size == 1:
+        delta = float(b[0]) - float(a[0])
+        return (delta, delta)
+    rng = np.random.Generator(np.random.PCG64(seed))
+    idx_a = rng.integers(0, a.size, size=(int(n_boot), a.size))
+    idx_b = rng.integers(0, b.size, size=(int(n_boot), b.size))
+    deltas = np.median(b[idx_b], axis=1) - np.median(a[idx_a], axis=1)
+    alpha = (1.0 - level) / 2.0
+    lo, hi = np.percentile(deltas, [100.0 * alpha, 100.0 * (1.0 - alpha)])
+    return (float(lo), float(hi))
+
+
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean, for aggregating speedup ratios across workloads."""
     arr = np.asarray(list(values), dtype=float)

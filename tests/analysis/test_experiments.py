@@ -1,4 +1,4 @@
-"""Tests for the experiment harness."""
+"""Tests for the experiment harness (RunSpec-path sweep runners)."""
 
 from __future__ import annotations
 
@@ -12,26 +12,14 @@ from repro.analysis.experiments import (
     scaling_sweep,
 )
 from repro.analysis.report import render_fault_sweep, render_overhead, render_scaling
-from repro.config import SimConfig
-from repro.core import NoFaultTolerance, RollbackRecovery, SpliceRecovery
-from repro.sim import TreeWorkload
-from repro.workloads.trees import balanced_tree
+from repro.api import Session
 
-
-def wfactory():
-    return TreeWorkload(balanced_tree(4, 2, 25), "bal")
-
-
-CONFIG = SimConfig(n_processors=4, seed=0)
+WORKLOAD = "balanced:4:2:25"
 
 
 class TestOverheadSweep:
     def test_rows_and_rendering(self):
-        rows = overhead_sweep(
-            {"bal": wfactory},
-            {"none": NoFaultTolerance, "rollback": RollbackRecovery},
-            CONFIG,
-        )
+        rows = overhead_sweep([WORKLOAD], ["none", "rollback"], processors=4, seed=0)
         assert len(rows) == 2
         none_row = next(r for r in rows if r.policy == "none")
         roll_row = next(r for r in rows if r.policy == "rollback")
@@ -40,14 +28,23 @@ class TestOverheadSweep:
         text = render_overhead(rows)
         assert "rollback" in text and "vs none" in text
 
+    def test_record_matches_direct_api_run(self):
+        # the sweep reads the canonical record, so its numbers must be
+        # identical to a direct Experiment run of the same spec
+        from repro.api import Experiment
+
+        (row,) = overhead_sweep([WORKLOAD], ["rollback"], processors=4, seed=0)
+        handle = (
+            Experiment.workload(WORKLOAD).policy("rollback").processors(4).seed(0).run()
+        )
+        assert row.makespan == handle.record["makespan"]
+        assert row.messages == handle.record["metrics"]["messages_total"]
+
 
 class TestFaultTimeSweep:
     def test_points_complete_and_correct(self):
         points = fault_time_sweep(
-            wfactory,
-            CONFIG,
-            {"rollback": RollbackRecovery, "splice": SpliceRecovery},
-            fractions=(0.3, 0.7),
+            WORKLOAD, ["rollback", "splice"], fractions=(0.3, 0.7), seed=0
         )
         assert len(points) == 4
         assert all(p.completed and p.correct for p in points)
@@ -56,37 +53,51 @@ class TestFaultTimeSweep:
         assert "splice" in text
 
     def test_fault_time_positive(self):
-        points = fault_time_sweep(
-            wfactory, CONFIG, {"rollback": RollbackRecovery}, fractions=(0.0001,)
-        )
+        points = fault_time_sweep(WORKLOAD, ["rollback"], fractions=(0.0001,), seed=0)
         assert points[0].fault_time >= 1.0
+
+    def test_shared_session_memoizes_baselines(self):
+        session = Session()
+        fault_time_sweep(WORKLOAD, ["rollback"], fractions=(0.3, 0.7), session=session)
+        # 2 faulted runs recorded; the baseline is memoized process-wide
+        assert len(session.handles) == 2
 
 
 class TestScalingSweep:
     def test_speedup_monotone_baseline(self):
         points = scaling_sweep(
-            lambda: TreeWorkload(balanced_tree(4, 2, 60), "bal"),
-            CONFIG,
-            NoFaultTolerance,
-            processor_counts=(1, 4),
+            "balanced:4:2:60", policy="none", processor_counts=(1, 4), seed=0
         )
         assert points[0].speedup == 1.0
         assert points[1].speedup > 1.0
         assert "speedup" in render_scaling(points)
 
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError, match="processor count"):
+            scaling_sweep(WORKLOAD, processor_counts=())
+
 
 class TestMultiFault:
     def test_runs_with_schedule(self):
         result = multi_fault_run(
-            wfactory,
-            CONFIG.with_(n_processors=6),
-            SpliceRecovery,
+            "balanced:4:2:25",
             fault_times=[(150.0, 1), (150.0, 4)],
+            policy="splice",
+            processors=6,
+            seed=0,
         )
         assert result.completed and result.verified is True
 
 
 class TestFaultFreeMakespan:
     def test_value(self):
-        m = fault_free_makespan(wfactory, CONFIG, NoFaultTolerance)
+        m = fault_free_makespan(WORKLOAD, policy="none", processors=4, seed=0)
         assert m > 0
+
+    def test_stall_raises(self):
+        # no fault tolerance + a fault is a stall, but fault-free "none"
+        # completes; a bad workload spec surfaces as SpecError instead
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError):
+            fault_free_makespan("nope:1:2")

@@ -1,0 +1,105 @@
+"""Tests for the report comparison layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecError
+from repro.exp import get_scenario, run_scenario, with_replications
+from repro.report import aggregate_sweep, compare_aggregates, split_compare
+
+
+@pytest.fixture(scope="module")
+def smoke_agg():
+    spec = with_replications(get_scenario("smoke"), 2)
+    return aggregate_sweep(run_scenario(spec, workers=1), spec)
+
+
+class TestSplitCompare:
+    def test_policy_split_pairs_on_fault_frac(self, smoke_agg):
+        (cmp,) = split_compare(smoke_agg, "policy")
+        assert cmp.base_label == "policy=rollback"
+        assert cmp.other_label == "policy=splice"
+        assert cmp.join_axes == ("fault_frac",)
+        assert [dict(c.axes) for c in cmp.cells] == [
+            {"fault_frac": 0.4},
+            {"fault_frac": 0.8},
+        ]
+        assert not cmp.unmatched_base and not cmp.unmatched_other
+
+    def test_delta_math(self, smoke_agg):
+        (cmp,) = split_compare(smoke_agg, "policy")
+        cell = cmp.cells[0]
+        d = cell.deltas["makespan"]
+        base = smoke_agg.cell_by_axes(policy="rollback", fault_frac=0.4)
+        other = smoke_agg.cell_by_axes(policy="splice", fault_frac=0.4)
+        assert d.base_median == base.metrics["makespan"].median
+        assert d.other_median == other.metrics["makespan"].median
+        assert d.delta == pytest.approx(d.other_median - d.base_median)
+        assert d.ratio == pytest.approx(d.other_median / d.base_median)
+        assert d.ci_low <= d.delta <= d.ci_high
+
+    def test_explicit_baseline(self, smoke_agg):
+        (cmp,) = split_compare(smoke_agg, "policy", baseline="splice")
+        assert cmp.base_label == "policy=splice"
+        assert cmp.other_label == "policy=rollback"
+
+    def test_multi_valued_axis_yields_one_comparison_per_value(self):
+        spec = get_scenario("chaos-grayfail")  # nemesis axis: control + 2
+        agg = aggregate_sweep(run_scenario(spec, workers=2), spec)
+        comparisons = split_compare(agg, "nemesis")
+        assert len(comparisons) == 2
+        assert all(cmp.base_label == "nemesis=" for cmp in comparisons)
+
+    def test_unknown_axis_and_baseline_diagnosed(self, smoke_agg):
+        with pytest.raises(SpecError, match="no axis"):
+            split_compare(smoke_agg, "nope")
+        with pytest.raises(SpecError, match="not a value"):
+            split_compare(smoke_agg, "policy", baseline="tmr")
+
+    def test_deterministic(self, smoke_agg):
+        a = split_compare(smoke_agg, "policy")[0].cells[0].deltas["makespan"]
+        b = split_compare(smoke_agg, "policy")[0].cells[0].deltas["makespan"]
+        assert a == b
+
+    def test_single_observation_sides_never_significant(self):
+        # n=1 per side yields an exact zero-width interval, which says
+        # nothing about replicate variation — no `*` marker
+        spec = get_scenario("smoke")
+        agg = aggregate_sweep(run_scenario(spec, workers=1), spec)
+        (cmp,) = split_compare(agg, "policy")
+        for cell in cmp.cells:
+            for delta in cell.deltas.values():
+                assert delta.n_base == delta.n_other == 1
+                assert not delta.significant
+
+
+class TestCompareAggregates:
+    def test_self_compare_joins_all_axes(self, smoke_agg):
+        cmp = compare_aggregates(smoke_agg, smoke_agg)
+        assert cmp.join_axes == ("policy", "fault_frac")
+        assert len(cmp.cells) == 4
+        for cell in cmp.cells:
+            d = cell.deltas["makespan"]
+            assert d.delta == 0.0
+            assert not d.significant  # zero delta is never marked
+
+    def test_cross_scenario_join_on_shared_axes(self):
+        base_spec = get_scenario("rollback-vs-splice")
+        base = aggregate_sweep(run_scenario(base_spec, workers=2), base_spec)
+        other_spec = get_scenario("orphan-regime")
+        other = aggregate_sweep(run_scenario(other_spec, workers=2), other_spec)
+        cmp = compare_aggregates(base, other)
+        assert cmp.join_axes == ("policy", "fault_frac")
+        # orphan-regime sweeps a subset of the fault fractions
+        assert len(cmp.cells) == 6
+        assert len(cmp.unmatched_base) == 4
+        assert not cmp.unmatched_other
+
+    def test_ambiguous_join_refused(self, smoke_agg):
+        with pytest.raises(SpecError, match="several cells"):
+            compare_aggregates(smoke_agg, smoke_agg, join_axes=("policy",))
+
+    def test_unknown_join_axis_refused(self, smoke_agg):
+        with pytest.raises(SpecError, match="not shared"):
+            compare_aggregates(smoke_agg, smoke_agg, join_axes=("nope",))

@@ -1,0 +1,151 @@
+"""Tests for the report emitters and end-to-end drivers."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.exp import get_scenario, run_scenario, with_replications
+from repro.report import (
+    REPORT_SCHEMA,
+    aggregate_sweep,
+    compare_payload,
+    markdown_compare,
+    markdown_report,
+    report_payload,
+    run_compare,
+    run_report,
+    split_compare,
+)
+from repro.util.jsonio import canonical_dumps
+
+
+@pytest.fixture(scope="module")
+def smoke_agg():
+    spec = with_replications(get_scenario("smoke"), 2)
+    return aggregate_sweep(run_scenario(spec, workers=1), spec)
+
+
+class TestReportPayload:
+    def test_schema_and_shape(self, smoke_agg):
+        payload = report_payload(smoke_agg)
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["kind"] == "report"
+        assert payload["replications"] == 2
+        assert len(payload["cells"]) == 4
+        cell = payload["cells"][0]
+        assert cell["n"] == 2
+        assert "makespan" in cell["metrics"]
+        assert len(cell["samples"]["makespan"]) == 2
+        json.dumps(payload)  # JSON-safe
+
+    def test_byte_deterministic(self, smoke_agg):
+        assert canonical_dumps(report_payload(smoke_agg)) == canonical_dumps(
+            report_payload(smoke_agg)
+        )
+
+
+class TestMarkdownReport:
+    def test_contains_tables_flags_and_header(self, smoke_agg):
+        text = markdown_report(smoke_agg, description="desc here")
+        assert text.startswith("# Report: `smoke`")
+        assert "desc here" in text
+        assert "| metric | n | median | IQR | 95% CI |" in text
+        assert "policy=rollback, fault_frac=0.4" in text
+        assert "completed 2/2" in text
+
+    def test_figure_report_embeds_the_paper_table(self):
+        sweep = run_scenario("fig5-cases", workers=1)
+        text = markdown_report(aggregate_sweep(sweep))
+        assert "```text" in text
+        assert "Figure 5: orderings of C's completion" in text
+
+
+class TestMarkdownCompare:
+    def test_delta_table_and_significance_marker(self, smoke_agg):
+        comparisons = split_compare(smoke_agg, "policy")
+        text = markdown_compare(comparisons)
+        assert text.startswith("# Compare: `smoke`")
+        assert "policy=rollback → policy=splice" in text
+        assert "Δ 95% CI" in text
+        # smoke's splice beats rollback at both fracs with zero variance,
+        # so the CI excludes zero and the marker must appear
+        assert "\\*" in text
+
+    def test_compare_payload_schema(self, smoke_agg):
+        payload = compare_payload(split_compare(smoke_agg, "policy"))
+        assert payload["schema"] == REPORT_SCHEMA and payload["kind"] == "compare"
+        (cmp,) = payload["comparisons"]
+        assert cmp["join_axes"] == ["fault_frac"]
+        json.dumps(payload)
+
+
+class TestDrivers:
+    def test_run_report_writes_the_pair(self, tmp_path):
+        result = run_report(
+            "smoke", replications=2, cache_dir=str(tmp_path / "c"),
+            out_dir=str(tmp_path / "r"),
+        )
+        assert os.path.exists(result.markdown_path)
+        assert os.path.exists(result.json_path)
+        with open(result.json_path, encoding="utf-8") as fh:
+            assert json.load(fh)["schema"] == REPORT_SCHEMA
+        with open(result.markdown_path, encoding="utf-8") as fh:
+            assert fh.read() == result.markdown
+
+    def test_run_report_reuses_the_sweep_cache(self, tmp_path):
+        cache = str(tmp_path / "c")
+        first = run_report("smoke", replications=2, cache_dir=cache, out_dir=None)
+        assert not first.sweeps[0].cache_hit
+        second = run_report("smoke", replications=2, cache_dir=cache, out_dir=None)
+        assert second.sweeps[0].cache_hit
+        assert second.markdown == first.markdown
+        assert canonical_dumps(second.payload) == canonical_dumps(first.payload)
+
+    def test_run_compare_axis_form(self, tmp_path):
+        result = run_compare(
+            "smoke", axis="policy", replications=2,
+            cache_dir=str(tmp_path / "c"), out_dir=str(tmp_path / "r"),
+        )
+        assert result.name == "smoke-by-policy"
+        assert os.path.basename(result.markdown_path) == "smoke-by-policy.md"
+        assert result.comparisons and result.comparisons[0].join_axes == ("fault_frac",)
+
+    def test_run_compare_two_scenarios(self, tmp_path):
+        result = run_compare(
+            "rollback-vs-splice", other="orphan-regime", workers=2,
+            cache_dir=str(tmp_path / "c"), out_dir=None,
+        )
+        assert result.name == "rollback-vs-splice-vs-orphan-regime"
+        assert "unmatched base cells" in result.markdown
+
+    def test_run_compare_needs_exactly_one_form(self, tmp_path):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError, match="exactly one"):
+            run_compare("smoke", cache_dir=str(tmp_path), out_dir=None)
+        with pytest.raises(SpecError, match="exactly one"):
+            run_compare(
+                "smoke", other="smoke", axis="policy",
+                cache_dir=str(tmp_path), out_dir=None,
+            )
+
+    def test_unknown_scenario_raises_keyerror(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_report("nope", cache_dir=str(tmp_path), out_dir=None)
+
+    def test_bad_interval_params_rejected_before_the_sweep(self, tmp_path):
+        from repro.errors import SpecError
+
+        cache = str(tmp_path / "c")
+        with pytest.raises(SpecError, match="level"):
+            run_report("smoke", level=1.5, cache_dir=cache, out_dir=None)
+        with pytest.raises(SpecError, match="resamples"):
+            run_report("smoke", n_boot=0, cache_dir=cache, out_dir=None)
+        with pytest.raises(SpecError, match="level"):
+            run_compare(
+                "smoke", axis="policy", level=0.0, cache_dir=cache, out_dir=None
+            )
+        assert not os.path.exists(cache)  # rejected before any sweep ran

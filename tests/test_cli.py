@@ -233,6 +233,98 @@ class TestFaults:
         assert code == 2
 
 
+class TestReport:
+    def test_report_list_shows_scenarios_and_hint(self):
+        code, text = run_cli("report", "list")
+        assert code == 0
+        assert "rollback-vs-splice" in text and "smoke" in text
+        assert "results/reports" in text and "docs/REPORTS.md" in text
+
+    def test_report_run_writes_markdown_and_json(self, tmp_path):
+        cache = str(tmp_path / "results")
+        code, text = run_cli(
+            "report", "run", "smoke", "--replications", "2",
+            "--cache-dir", cache,
+        )
+        assert code == 0
+        assert "# Report: `smoke`" in text
+        assert "bootstrap" in text
+        md = tmp_path / "results" / "reports" / "smoke.md"
+        js = tmp_path / "results" / "reports" / "smoke.json"
+        assert md.exists() and js.exists()
+        assert f"wrote {md}" in text
+
+    def test_report_run_no_write_and_json(self, tmp_path):
+        import json
+
+        cache = str(tmp_path / "results")
+        code, text = run_cli(
+            "report", "run", "smoke", "--replications", "2",
+            "--cache-dir", cache, "--no-write", "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["schema"] == "repro-report/1"
+        assert payload["replications"] == 2
+        assert not (tmp_path / "results" / "reports").exists()
+
+    def test_report_compare_axis(self, tmp_path):
+        cache = str(tmp_path / "results")
+        code, text = run_cli(
+            "report", "compare", "smoke", "--axis", "policy",
+            "--replications", "2", "--cache-dir", cache,
+        )
+        assert code == 0
+        assert "policy=rollback → policy=splice" in text
+        assert (tmp_path / "results" / "reports" / "smoke-by-policy.md").exists()
+
+    def test_report_compare_baseline_coerced(self, tmp_path):
+        # --baseline is a string on the CLI; axis values may be floats
+        cache = str(tmp_path / "results")
+        code, text = run_cli(
+            "report", "compare", "smoke", "--axis", "fault_frac",
+            "--baseline", "0.8", "--cache-dir", cache, "--no-write",
+        )
+        assert code == 0
+        assert "fault_frac=0.8 → fault_frac=0.4" in text
+
+    def test_report_reuses_the_sweep_cache(self, tmp_path):
+        cache = str(tmp_path / "results")
+        code, _ = run_cli("exp", "run", "smoke", "--cache-dir", cache)
+        assert code == 0
+        code, text = run_cli(
+            "report", "run", "smoke", "--cache-dir", cache, "--no-write"
+        )
+        assert code == 0
+        assert "replicates per point: 1" in text
+
+    def test_report_unknown_scenario(self, capsys):
+        code, _ = run_cli("report", "run", "no-such-scenario")
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_report_bad_replications_one_line_diagnostic(self, capsys):
+        code, _ = run_cli("report", "run", "smoke", "--replications", "0", "--no-write")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert ">= 1" in err and "Traceback" not in err
+
+    def test_report_compare_requires_one_form(self, capsys):
+        code, _ = run_cli("report", "compare", "smoke", "--no-write")
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+        code, _ = run_cli(
+            "report", "compare", "smoke", "smoke", "--axis", "policy", "--no-write"
+        )
+        assert code == 2
+
+    def test_report_bad_axis_one_line_diagnostic(self, capsys):
+        code, _ = run_cli("report", "compare", "smoke", "--axis", "nope", "--no-write")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no axis" in err and "Traceback" not in err
+
+
 class TestExp:
     def test_exp_list_shows_scenarios(self):
         code, text = run_cli("exp", "list")

@@ -30,9 +30,14 @@ DOC_FILES = [
     "docs/SCENARIOS.md",
     "docs/PERFORMANCE.md",
     "docs/FAULTS.md",
+    "docs/REPORTS.md",
 ]
 
 EXP_REF = re.compile(r"exp (?:run|show) ([a-z0-9][a-z0-9-]*)")
+#: `repro report` verbs referenced in docs (the verb group is API).
+REPORT_CLI_REF = re.compile(r"report (list|run|compare)")
+#: Scenario names fed to the report verbs must resolve too.
+REPORT_SCENARIO_REF = re.compile(r"report (?:run|compare) ([a-z0-9][a-z0-9-]*)")
 #: Benchmark references look like `macro-faultfree` / `micro-event-queue`
 #: (the registry enforces the kind prefix, so the pattern is unambiguous).
 BENCH_REF = re.compile(r"`((?:macro|micro)-[a-z0-9-]+)`")
@@ -62,6 +67,32 @@ API_EXPORTS = {
     "SpecError",
     "WorkloadSpec",
     "execute",
+    "replicate",
+    "replicate_seeds",
+}
+
+#: The public surface of repro.report, pinned like repro.api: docs and
+#: CI reference these names, so removals/renames are breaking changes
+#: and must be made deliberately (here and in docs/REPORTS.md).
+REPORT_EXPORTS = {
+    "DEFAULT_OUT_DIR",
+    "REPORT_SCHEMA",
+    "CellDelta",
+    "CellSummary",
+    "Comparison",
+    "MetricDelta",
+    "MetricSummary",
+    "ReportResult",
+    "SweepAggregate",
+    "aggregate_sweep",
+    "compare_aggregates",
+    "compare_payload",
+    "markdown_compare",
+    "markdown_report",
+    "report_payload",
+    "run_compare",
+    "run_report",
+    "split_compare",
 }
 
 
@@ -230,6 +261,84 @@ class TestApiReferences:
         api_doc = read_docs()["docs/API.md"]
         for kind in ("balanced", "chain", "wide", "skewed", "random", "prog"):
             assert f"{kind}:" in api_doc
+
+
+class TestReadmeDocsIndex:
+    def test_readme_has_a_documentation_index(self):
+        readme = read_docs()["README.md"]
+        assert "## Documentation" in readme, (
+            "README.md must open with a docs index section"
+        )
+        index = readme.split("## Documentation", 1)[1].split("## ", 1)[0]
+        for rel in DOC_FILES:
+            if rel == "README.md":
+                continue
+            assert f"({rel})" in index, (
+                f"README docs index must link {rel} with a one-line summary"
+            )
+
+    def test_index_precedes_the_install_section(self):
+        readme = read_docs()["README.md"]
+        assert readme.index("## Documentation") < readme.index("## Install")
+
+
+class TestReportReferences:
+    def test_report_exports_are_pinned(self):
+        import repro.report
+
+        assert set(repro.report.__all__) == REPORT_EXPORTS, (
+            "repro.report exports changed; update REPORT_EXPORTS and "
+            "docs/REPORTS.md deliberately"
+        )
+        for name in REPORT_EXPORTS:
+            assert hasattr(repro.report, name), name
+
+    def test_docs_name_the_report_cli_verbs(self):
+        readme = read_docs()["README.md"]
+        reports_doc = read_docs()["docs/REPORTS.md"]
+        for text in (readme, reports_doc):
+            verbs = set(REPORT_CLI_REF.findall(text))
+            assert {"list", "run", "compare"} <= verbs, (
+                "README and REPORTS.md must document `report list`, "
+                "`report run`, and `report compare`"
+            )
+
+    def test_report_cli_verbs_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["report", "list"],
+            ["report", "run", "smoke"],
+            ["report", "compare", "smoke", "--axis", "policy"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == "report"
+
+    def test_every_report_scenario_reference_is_registered(self):
+        registered = set(all_scenarios())
+        for rel, text in read_docs().items():
+            for name in REPORT_SCENARIO_REF.findall(text):
+                assert name in registered, (
+                    f"{rel} feeds unknown scenario {name!r} to repro report"
+                )
+
+    def test_reports_md_states_the_determinism_contract(self):
+        reports_doc = read_docs()["docs/REPORTS.md"]
+        assert "--replications" in reports_doc
+        assert "bootstrap" in reports_doc.lower()
+        assert "results/reports" in reports_doc
+
+    def test_scenarios_md_documents_the_results_layout(self):
+        scenarios_doc = read_docs()["docs/SCENARIOS.md"]
+        assert "results/" in scenarios_doc and "reports/" in scenarios_doc
+        assert "<spec-key>.json" in scenarios_doc
+        assert "RunSpec" in scenarios_doc  # cache key derives from RunSpec JSON
+
+    def test_readme_has_the_ci_quickstart(self):
+        readme = read_docs()["README.md"]
+        assert "confidence intervals" in readme
+        assert "docs/REPORTS.md" in readme
 
 
 class TestCommittedBaseline:

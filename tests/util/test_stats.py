@@ -11,8 +11,11 @@ from hypothesis import strategies as st
 
 from repro.util.stats import (
     Summary,
+    bootstrap_delta_ci,
+    bootstrap_median_ci,
     confidence_interval,
     geometric_mean,
+    quartiles,
     ratio_of_means,
     summarize,
 )
@@ -111,3 +114,73 @@ class TestRatioOfMeans:
     def test_zero_denominator(self):
         with pytest.raises(ZeroDivisionError):
             ratio_of_means([1.0], [0.0])
+
+
+class TestQuartiles:
+    def test_known(self):
+        q1, med, q3 = quartiles([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert (q1, med, q3) == (2.0, 3.0, 4.0)
+
+    def test_singleton_degenerates(self):
+        assert quartiles([7.0]) == (7.0, 7.0, 7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            quartiles([])
+
+    @given(st.lists(finite_floats, min_size=1, max_size=30))
+    def test_ordered_and_bounded(self, values):
+        q1, med, q3 = quartiles(values)
+        assert min(values) <= q1 <= med <= q3 <= max(values)
+
+
+class TestBootstrapMedianCI:
+    def test_deterministic_for_fixed_seed(self):
+        values = [1.0, 2.0, 3.0, 4.0, 10.0]
+        assert bootstrap_median_ci(values, seed=7) == bootstrap_median_ci(
+            values, seed=7
+        )
+
+    def test_contains_median_and_is_bounded(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        lo, hi = bootstrap_median_ci(values, seed=0)
+        assert min(values) <= lo <= hi <= max(values)
+        assert lo <= float(np.median(values)) <= hi
+
+    def test_singleton_degenerates(self):
+        assert bootstrap_median_ci([5.0]) == (5.0, 5.0)
+
+    def test_constant_sample_zero_width(self):
+        assert bootstrap_median_ci([2.0, 2.0, 2.0], seed=1) == (2.0, 2.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([1.0], level=1.5)
+
+    def test_wider_level_nests(self):
+        values = [1.0, 2.0, 3.0, 4.0, 10.0, 0.5, 6.0]
+        lo99, hi99 = bootstrap_median_ci(values, level=0.99, seed=3)
+        lo80, hi80 = bootstrap_median_ci(values, level=0.80, seed=3)
+        assert lo99 <= lo80 and hi80 <= hi99
+
+
+class TestBootstrapDeltaCI:
+    def test_both_singletons_exact(self):
+        assert bootstrap_delta_ci([2.0], [5.0]) == (3.0, 3.0)
+
+    def test_deterministic_and_sign_sensible(self):
+        base = [10.0, 11.0, 12.0]
+        other = [20.0, 21.0, 22.0]
+        lo, hi = bootstrap_delta_ci(base, other, seed=4)
+        assert (lo, hi) == bootstrap_delta_ci(base, other, seed=4)
+        assert lo > 0  # clearly separated samples: CI excludes zero
+
+    def test_identical_samples_cover_zero(self):
+        lo, hi = bootstrap_delta_ci([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], seed=0)
+        assert lo <= 0.0 <= hi
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_delta_ci([], [1.0])
