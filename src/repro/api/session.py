@@ -128,6 +128,9 @@ class RunHandle:
     result: RunResult
     record: Dict[str, Any]
     baseline: Optional[Tuple[float, int, int]] = None
+    #: Oracle verdicts (:class:`repro.check.CheckReport`), filled in by
+    #: sessions constructed with an ``oracles`` config.
+    check: Optional[Any] = None
 
     @property
     def metrics(self):
@@ -460,8 +463,26 @@ class Session:
     baseline run once, exactly like the registry sweep engine.
     """
 
-    def __init__(self, collect_trace: bool = False, verify: bool = True) -> None:
-        self.collect_trace = collect_trace
+    def __init__(
+        self,
+        collect_trace: bool = False,
+        verify: bool = True,
+        oracles: Optional[Any] = None,
+    ) -> None:
+        """``oracles`` opts every run into trace-oracle evaluation.
+
+        Pass ``True`` for the default :class:`repro.check.CheckConfig`
+        or a config instance to tune it; each handle then carries a
+        :class:`repro.check.CheckReport` in :attr:`RunHandle.check`.
+        Oracle evaluation needs the trace, so ``collect_trace`` is
+        forced on.
+        """
+        if oracles is True:
+            from repro.check import CheckConfig
+
+            oracles = CheckConfig()
+        self.oracles = oracles
+        self.collect_trace = collect_trace or oracles is not None
         self.verify = verify
         self.handles: List[RunHandle] = []
 
@@ -495,6 +516,10 @@ class Session:
         handle = execute(
             self.resolve(spec), collect_trace=self.collect_trace, verify=self.verify
         )
+        if self.oracles is not None:
+            from repro.check import evaluate  # deferred: check imports this module
+
+            handle.check = evaluate(handle, self.oracles)
         self.handles.append(handle)
         return handle
 

@@ -1,0 +1,61 @@
+"""Trace oracles and adversarial schedule search.
+
+The ``check`` subsystem turns the fault layer from replay into an
+adversary.  The **oracle layer** (:mod:`repro.check.oracles`) evaluates
+named invariants — result agreement, no orphan commits, checkpoint
+coverage, causal delivery, bounded recovery, and the weak-recovery
+classifier — over a run's trace, each returning a structured
+:class:`Verdict` with the violating trace window.  The **search layer**
+(:mod:`repro.check.search`) generates seeded random nemesis schedules,
+runs them through ``repro.api``, and shrinks any violation to a minimal
+reproducer with a deterministic ledger under ``results/check/``.
+
+See ``docs/CHECK.md`` for the catalog and semantics, and
+``repro check list|run|search`` on the CLI.
+"""
+
+from repro.check.oracles import (
+    ORACLE_NAMES,
+    STATUSES,
+    CheckConfig,
+    CheckContext,
+    CheckReport,
+    OracleInfo,
+    Verdict,
+    all_oracles,
+    check_spec,
+    evaluate,
+    evaluate_context,
+    oracle,
+    select_oracles,
+)
+from repro.check.search import (
+    CHECK_SCHEMA,
+    DEFAULT_LEDGER_DIR,
+    SearchResult,
+    ledger_path,
+    search,
+    shrink,
+)
+
+__all__ = [
+    "CHECK_SCHEMA",
+    "DEFAULT_LEDGER_DIR",
+    "ORACLE_NAMES",
+    "STATUSES",
+    "CheckConfig",
+    "CheckContext",
+    "CheckReport",
+    "OracleInfo",
+    "SearchResult",
+    "Verdict",
+    "all_oracles",
+    "check_spec",
+    "evaluate",
+    "evaluate_context",
+    "ledger_path",
+    "oracle",
+    "search",
+    "select_oracles",
+    "shrink",
+]

@@ -1,0 +1,462 @@
+"""Trace oracles: named invariants over one run's event stream.
+
+Each oracle consumes a :class:`CheckContext` — the run's
+:class:`~repro.sim.trace.TraceRecord` stream plus the final outcome —
+and returns a :class:`Verdict`: ``pass``, ``weak`` (a documented
+degraded regime, not a correctness failure), or ``violation``, with the
+violating trace window attached so a reproducer points straight at the
+offending interval.
+
+The catalog (see ``docs/CHECK.md`` and ``repro check list``):
+
+``result-agreement``
+    The run terminates with the sequential oracle's value.
+``no-orphan-commit``
+    Nothing lands in a task instance after it aborted — rollback may
+    discard work, never resurrect it.
+``checkpoint-coverage``
+    Per-stamp checkpoint coverage is monotone: a drop is always matched
+    by an earlier record, so held-checkpoint counts never go negative.
+``causal-delivery``
+    Every received result was previously sent, relayed, or rerouted —
+    partitions and chaos may delay or kill messages, never invent them.
+``bounded-recovery``
+    Every triggered recovery (``recovery_reissue``) closes — a result
+    arrives, the holder aborts, or a later reissue supersedes it —
+    within a configurable horizon.
+``weak-recovery``
+    Classifies false-positive failure detections: none (pass),
+    symmetric write-off (weak — the partition-heal regime documented in
+    ``docs/FAULTS.md``), one-sided write-off survived (weak), or
+    one-sided write-off that stranded the run (violation — the
+    Fabbretti et al. weak-recovery regime).
+
+Oracles are pure functions of the context, so synthetic traces unit-test
+them without running the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SpecError
+from repro.sim.trace import TraceRecord
+
+#: Verdict statuses, from best to worst.
+STATUSES = ("pass", "weak", "violation")
+
+#: Trace kinds that legitimately originate a result in flight.  A
+#: ``result_received`` with no prior origin for the same stamp is
+#: acausal (splice relays and orphan reroutes do not re-emit
+#: ``result_sent``, hence the three kinds).
+RESULT_ORIGINS = ("result_sent", "result_relayed", "result_orphan_rerouted")
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Tunables for one oracle evaluation.
+
+    ``horizon_frac`` bounds recovery completion as a multiple of the
+    fault-free baseline makespan (falling back to the run's own
+    makespan when no baseline was computed).  ``oracles`` selects a
+    subset by name; empty means the full catalog.
+    """
+
+    horizon_frac: float = 3.0
+    oracles: Tuple[str, ...] = ()
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"horizon_frac": self.horizon_frac, "oracles": list(self.oracles)}
+
+
+@dataclass(frozen=True)
+class CheckContext:
+    """Everything an oracle may look at for one run."""
+
+    records: Tuple[TraceRecord, ...]
+    completed: bool
+    verified: Optional[bool]
+    makespan: float
+    horizon: float
+    stall_reason: Optional[str] = None
+    #: Nodes that really crashed.  ``None`` derives it from the trace's
+    #: ``node_failed`` records (handy for synthetic test contexts).
+    failed_nodes: Optional[Tuple[int, ...]] = None
+
+    @property
+    def correct(self) -> bool:
+        return self.completed and self.verified is not False
+
+    def dead_nodes(self) -> frozenset:
+        if self.failed_nodes is not None:
+            return frozenset(self.failed_nodes)
+        return frozenset(
+            r.detail["node"] if "node" in r.detail else r.node
+            for r in self.records
+            if r.kind == "node_failed"
+        )
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One oracle's judgement of one run."""
+
+    oracle: str
+    status: str  # one of STATUSES
+    detail: str
+    #: ``(first, last)`` trace times bounding the offending interval
+    #: (``None`` for clean passes).
+    window: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        assert self.status in STATUSES, self.status
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "violation"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "oracle": self.oracle,
+            "status": self.status,
+            "detail": self.detail,
+            "window": list(self.window) if self.window else None,
+        }
+
+
+@dataclass(frozen=True)
+class OracleInfo:
+    """Registry entry: name, one-line summary, the checking function."""
+
+    name: str
+    summary: str
+    fn: Callable[[CheckContext], Verdict]
+
+
+_ORACLES: Dict[str, OracleInfo] = {}
+
+
+def oracle(name: str, summary: str):
+    """Register an oracle function under ``name`` (decorator)."""
+
+    def wrap(fn: Callable[[CheckContext], Verdict]) -> Callable[[CheckContext], Verdict]:
+        if name in _ORACLES:
+            raise ValueError(f"oracle {name!r} already registered")
+        _ORACLES[name] = OracleInfo(name, summary, fn)
+        return fn
+
+    return wrap
+
+
+def all_oracles() -> Dict[str, OracleInfo]:
+    """The oracle catalog, in registration (= documentation) order."""
+    return dict(_ORACLES)
+
+
+# -- the catalog ---------------------------------------------------------------
+
+
+@oracle("result-agreement", "run terminates with the sequential oracle's value")
+def _result_agreement(ctx: CheckContext) -> Verdict:
+    name = "result-agreement"
+    if not ctx.completed:
+        last = ctx.records[-1].time if ctx.records else 0.0
+        reason = f" ({ctx.stall_reason})" if ctx.stall_reason else ""
+        return Verdict(
+            name, "violation",
+            f"run stalled before the root received its result{reason}",
+            window=(last, ctx.makespan),
+        )
+    if ctx.verified is False:
+        return Verdict(
+            name, "violation",
+            "final value disagrees with the sequential oracle",
+            window=(0.0, ctx.makespan),
+        )
+    if ctx.verified is None:
+        return Verdict(name, "pass", "run completed (verification disabled)")
+    return Verdict(name, "pass", "final value matches the sequential oracle")
+
+
+@oracle("no-orphan-commit", "nothing lands in a task instance after it aborted")
+def _no_orphan_commit(ctx: CheckContext) -> Verdict:
+    name = "no-orphan-commit"
+    aborted: Dict[int, float] = {}
+    for r in ctx.records:
+        uid = r.detail.get("uid")
+        if r.kind == "task_aborted" and uid is not None:
+            aborted.setdefault(uid, r.time)
+        elif r.kind in ("result_received", "task_completed") and uid in aborted:
+            return Verdict(
+                name, "violation",
+                f"{r.kind} for task uid={uid} after its abort at "
+                f"t={aborted[uid]:g} — rollback resurrected discarded work",
+                window=(aborted[uid], r.time),
+            )
+    return Verdict(
+        name, "pass",
+        f"{len(aborted)} aborted instance(s), none received or completed afterwards",
+    )
+
+
+@oracle("checkpoint-coverage", "per-stamp checkpoint coverage never goes negative")
+def _checkpoint_coverage(ctx: CheckContext) -> Verdict:
+    name = "checkpoint-coverage"
+    held: Dict[str, int] = {}
+    recorded = dropped = 0
+    for r in ctx.records:
+        if r.kind == "checkpoint_recorded":
+            held[r.detail["stamp"]] = held.get(r.detail["stamp"], 0) + 1
+            recorded += 1
+        elif r.kind == "checkpoint_dropped":
+            stamp = r.detail["stamp"]
+            if held.get(stamp, 0) <= 0:
+                return Verdict(
+                    name, "violation",
+                    f"checkpoint for stamp {stamp} dropped at t={r.time:g} "
+                    "with no matching record — coverage went negative",
+                    window=(r.time, r.time),
+                )
+            held[stamp] -= 1
+            dropped += 1
+    return Verdict(
+        name, "pass",
+        f"{recorded} recorded / {dropped} dropped, coverage monotone per stamp",
+    )
+
+
+@oracle("causal-delivery", "every received result was previously sent, relayed, or rerouted")
+def _causal_delivery(ctx: CheckContext) -> Verdict:
+    name = "causal-delivery"
+    origins: set = set()
+    received = 0
+    for r in ctx.records:
+        if r.kind in RESULT_ORIGINS:
+            origins.add(r.detail["stamp"])
+        elif r.kind == "result_received":
+            stamp = r.detail["stamp"]
+            if stamp not in origins:
+                return Verdict(
+                    name, "violation",
+                    f"result for stamp {stamp} delivered at t={r.time:g} "
+                    "with no prior send/relay/reroute — acausal delivery",
+                    window=(r.time, r.time),
+                )
+            received += 1
+    return Verdict(name, "pass", f"{received} deliveries, all causally preceded")
+
+
+@oracle("bounded-recovery", "every triggered recovery closes within the horizon")
+def _bounded_recovery(ctx: CheckContext) -> Verdict:
+    name = "bounded-recovery"
+    open_at: Dict[str, Tuple[float, Any]] = {}  # stamp -> (opened, holder uid)
+    closed: List[Tuple[str, float, float]] = []
+    total = 0
+    for r in ctx.records:
+        stamp = r.detail.get("stamp")
+        if r.kind == "recovery_reissue":
+            total += 1
+            open_at[stamp] = (r.time, r.detail.get("uid"))
+        elif r.kind in ("recovery_complete", "result_received", "result_salvaged"):
+            if stamp in open_at:
+                closed.append((stamp, open_at.pop(stamp)[0], r.time))
+        elif r.kind == "task_aborted":
+            # The holder died: its open obligations are mooted, and the
+            # aborted child's own pending recovery is discarded with it.
+            uid = r.detail.get("uid")
+            for s in [s for s, (_, holder) in open_at.items() if holder == uid]:
+                del open_at[s]
+            if stamp in open_at:
+                del open_at[stamp]
+    horizon = ctx.horizon
+    for stamp, opened, done in closed:
+        if done - opened > horizon:
+            return Verdict(
+                name, "violation",
+                f"recovery of stamp {stamp} took {done - opened:g} "
+                f"(> horizon {horizon:g})",
+                window=(opened, done),
+            )
+    if open_at:
+        stamp, (opened, _) = min(open_at.items(), key=lambda kv: kv[1][0])
+        if not ctx.completed:
+            return Verdict(
+                name, "violation",
+                f"{len(open_at)} recovery reissue(s) never completed and the "
+                f"run stalled (earliest open: stamp {stamp} at t={opened:g})",
+                window=(opened, ctx.makespan),
+            )
+        if ctx.makespan - opened > horizon:
+            return Verdict(
+                name, "violation",
+                f"recovery of stamp {stamp} opened at t={opened:g} never "
+                f"completed within horizon {horizon:g}",
+                window=(opened, ctx.makespan),
+            )
+    return Verdict(
+        name, "pass",
+        f"{total} recovery reissue(s), all closed within horizon {horizon:g}",
+    )
+
+
+@oracle("weak-recovery", "classifies false-positive failure detections")
+def _weak_recovery(ctx: CheckContext) -> Verdict:
+    name = "weak-recovery"
+    dead = ctx.dead_nodes()
+    false_pos: List[TraceRecord] = [
+        r
+        for r in ctx.records
+        if r.kind == "failure_detected" and r.detail.get("dead") not in dead
+    ]
+    if not false_pos:
+        return Verdict(
+            name, "pass",
+            "every failure detection was a real crash"
+            if any(r.kind == "failure_detected" for r in ctx.records)
+            else "no failure detections",
+        )
+    pairs = {(r.node, r.detail["dead"]) for r in false_pos}
+    onesided = sorted((a, b) for a, b in pairs if (b, a) not in pairs)
+    first = min(r.time for r in false_pos)
+    last = max(r.time for r in false_pos)
+    if not onesided:
+        return Verdict(
+            name, "weak",
+            f"{len(pairs)} symmetric false-positive write-off(s) — the "
+            "partition-heal regime; both sides re-execute, determinacy "
+            "absorbs the duplicates",
+            window=(first, last),
+        )
+    shown = ", ".join(f"{a}->{b}" for a, b in onesided[:4])
+    if ctx.correct:
+        return Verdict(
+            name, "weak",
+            f"one-sided false-positive write-off(s) {shown} survived — "
+            "reissue covered the stranded side",
+            window=(first, last),
+        )
+    return Verdict(
+        name, "violation",
+        f"one-sided false-positive write-off(s) {shown} stranded the run "
+        "— the weak-recovery regime (see docs/FAULTS.md)",
+        window=(first, ctx.makespan),
+    )
+
+
+#: Catalog order, pinned by tests and docs.
+ORACLE_NAMES = tuple(_ORACLES)
+
+
+# -- evaluation ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """All verdicts for one run, plus the horizon they were judged at."""
+
+    verdicts: Tuple[Verdict, ...]
+    horizon: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def violations(self) -> Tuple[Verdict, ...]:
+        return tuple(v for v in self.verdicts if v.status == "violation")
+
+    @property
+    def weak(self) -> Tuple[Verdict, ...]:
+        return tuple(v for v in self.verdicts if v.status == "weak")
+
+    @property
+    def status(self) -> str:
+        """Worst verdict status: ``violation`` > ``weak`` > ``pass``."""
+        return max(
+            (v.status for v in self.verdicts),
+            key=STATUSES.index,
+            default="pass",
+        )
+
+    def verdict(self, oracle_name: str) -> Verdict:
+        for v in self.verdicts:
+            if v.oracle == oracle_name:
+                return v
+        raise KeyError(oracle_name)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "horizon": round(self.horizon, 6),
+            "status": self.status,
+            "verdicts": [v.to_json() for v in self.verdicts],
+        }
+
+    def table(self) -> str:
+        width = max(len(v.oracle) for v in self.verdicts)
+        lines = []
+        for v in self.verdicts:
+            window = (
+                f"  [t={v.window[0]:g}..{v.window[1]:g}]" if v.window else ""
+            )
+            lines.append(f"{v.oracle:<{width}}  {v.status:<9} {v.detail}{window}")
+        return "\n".join(lines)
+
+
+def select_oracles(names: Tuple[str, ...]) -> List[OracleInfo]:
+    """Resolve a name subset (empty = all), with SpecError diagnostics."""
+    if not names:
+        return list(_ORACLES.values())
+    out = []
+    for name in names:
+        if name not in _ORACLES:
+            raise SpecError(
+                f"unknown oracle {name!r}",
+                field="check.oracle", value=name, allowed=ORACLE_NAMES,
+            )
+        out.append(_ORACLES[name])
+    return out
+
+
+def evaluate_context(
+    ctx: CheckContext, config: Optional[CheckConfig] = None
+) -> CheckReport:
+    """Run the (selected) catalog over a prepared context."""
+    config = config or CheckConfig()
+    infos = select_oracles(config.oracles)
+    return CheckReport(
+        verdicts=tuple(info.fn(ctx) for info in infos), horizon=ctx.horizon
+    )
+
+
+def evaluate(handle: Any, config: Optional[CheckConfig] = None) -> CheckReport:
+    """Evaluate oracles over an executed :class:`repro.api.RunHandle`."""
+    config = config or CheckConfig()
+    result = handle.result
+    if not result.trace.enabled and result.metrics.tasks_spawned:
+        raise SpecError(
+            "oracle evaluation needs a collected trace; "
+            "execute with collect_trace=True (or Session(oracles=...))",
+            field="check.trace",
+        )
+    base_makespan = handle.baseline[0] if handle.baseline else result.makespan
+    ctx = CheckContext(
+        records=tuple(result.trace),
+        completed=result.completed,
+        verified=result.verified,
+        makespan=result.makespan,
+        horizon=config.horizon_frac * max(base_makespan, 1.0),
+        stall_reason=result.stall_reason,
+        failed_nodes=tuple(result.metrics.nodes_failed),
+    )
+    return evaluate_context(ctx, config)
+
+
+def check_spec(
+    spec: Any, config: Optional[CheckConfig] = None, verify: bool = True
+) -> Tuple[Any, CheckReport]:
+    """Execute any spec form with tracing on and evaluate the oracles."""
+    from repro.api.session import Session, execute
+
+    handle = execute(Session.resolve(spec), collect_trace=True, verify=verify)
+    return handle, evaluate(handle, config)

@@ -1,0 +1,199 @@
+"""Adversarial schedule search: generate, run, shrink, ledger.
+
+The searcher draws random :class:`~repro.api.specs.NemesisSpec`
+schedules from a seeded generator (:mod:`repro.faults.generate`), runs
+each against a base :class:`~repro.api.specs.RunSpec` through
+``repro.api.execute`` with the oracle catalog armed, and on the first
+violation **shrinks** the schedule — greedily taking the first
+strictly-smaller candidate that still violates, until none does — to a
+minimal reproducer.
+
+Everything is a pure function of ``(base spec, seed, config)``: the
+generator is a ``random.Random(seed)``, shrink candidates enumerate in
+a fixed order, and the simulator is deterministic, so the same search
+always produces the byte-identical ledger.  Ledgers are canonical JSON
+documents (schema ``repro-check/1``) written atomically under
+``results/check/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.specs import NemesisSpec, RunSpec
+from repro.check.oracles import CheckConfig, CheckReport, check_spec
+from repro.faults.generate import (
+    GENERATABLE_MODELS,
+    random_nemesis,
+    shrink_candidates,
+)
+from repro.util.jsonio import canonical_dumps, compact_dumps, write_atomic
+
+#: Ledger document schema tag.
+CHECK_SCHEMA = "repro-check/1"
+
+#: Default ledger directory.
+DEFAULT_LEDGER_DIR = os.path.join("results", "check")
+
+
+def _check_nemesis(
+    base: RunSpec, nemesis: NemesisSpec, config: CheckConfig
+) -> CheckReport:
+    spec = replace(base, nemesis=nemesis).validate()
+    _, report = check_spec(spec, config)
+    return report
+
+
+def shrink(
+    base: RunSpec,
+    nemesis: NemesisSpec,
+    config: Optional[CheckConfig] = None,
+) -> Tuple[NemesisSpec, List[Dict[str, Any]]]:
+    """Greedily shrink a violating schedule to a minimal reproducer.
+
+    Takes the first strictly-smaller candidate (fixed enumeration
+    order) that still violates some oracle, and repeats until no
+    candidate does.  Returns the minimal schedule and the shrink trail
+    (one entry per accepted step).  Deterministic: same inputs, same
+    minimal schedule, always.
+    """
+    config = config or CheckConfig()
+    current = nemesis
+    trail: List[Dict[str, Any]] = []
+    improved = True
+    while improved:
+        improved = False
+        for candidate in shrink_candidates(current):
+            report = _check_nemesis(base, candidate, config)
+            if report.violations:
+                current = candidate
+                trail.append(
+                    {
+                        "nemesis": candidate.to_spec_str(),
+                        "violations": [v.oracle for v in report.violations],
+                    }
+                )
+                improved = True
+                break
+    return current, trail
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One completed search: every attempt, plus the shrunk violation."""
+
+    base: RunSpec
+    seed: int
+    config: CheckConfig
+    attempts: Tuple[Dict[str, Any], ...]
+    violation: Optional[Dict[str, Any]]
+    path: Optional[str] = None
+
+    @property
+    def found(self) -> bool:
+        return self.violation is not None
+
+    @property
+    def minimal(self) -> Optional[NemesisSpec]:
+        if self.violation is None:
+            return None
+        return NemesisSpec.parse(self.violation["minimal"])
+
+    def to_doc(self) -> Dict[str, Any]:
+        """The canonical ledger document (deterministic, no timestamps)."""
+        return {
+            "schema": CHECK_SCHEMA,
+            "base": self.base.to_json(),
+            "seed": self.seed,
+            "check": self.config.to_json(),
+            "attempts": list(self.attempts),
+            "violation": self.violation,
+        }
+
+    def summary(self) -> str:
+        if self.violation is None:
+            return (
+                f"clean: {len(self.attempts)} schedule(s) tried, "
+                "no oracle violation"
+            )
+        return (
+            f"violation at attempt {self.violation['attempt']}: "
+            f"{self.violation['nemesis']}\n"
+            f"  oracles : {', '.join(self.violation['violations'])}\n"
+            f"  minimal : {self.violation['minimal']} "
+            f"({len(self.violation['shrink_trail'])} shrink step(s))"
+        )
+
+
+def ledger_path(base: RunSpec, seed: int, out_dir: str = DEFAULT_LEDGER_DIR) -> str:
+    """Deterministic ledger filename for one ``(base, seed)`` search."""
+    ident = hashlib.sha256(compact_dumps(base.to_json()).encode("utf-8")).hexdigest()
+    return os.path.join(out_dir, f"search-seed{int(seed)}-{ident[:10]}.json")
+
+
+def search(
+    base: Any,
+    seed: int = 0,
+    attempts: int = 12,
+    models: Sequence[str] = GENERATABLE_MODELS,
+    max_clauses: int = 2,
+    config: Optional[CheckConfig] = None,
+    out_dir: str = DEFAULT_LEDGER_DIR,
+    write: bool = True,
+) -> SearchResult:
+    """Search the schedule space of ``base`` for oracle violations.
+
+    Draws up to ``attempts`` schedules from ``random.Random(seed)``,
+    stops at the first violation and shrinks it.  The base spec's own
+    nemesis is ignored — the searcher owns that axis.  With ``write``
+    (default) the ledger lands at :func:`ledger_path` under
+    ``out_dir``.
+    """
+    from repro.api.session import Session
+
+    base = replace(Session.resolve(base), nemesis=NemesisSpec())
+    config = config or CheckConfig()
+    rng = random.Random(int(seed))
+    procs = base.machine.processors
+    tried: List[Dict[str, Any]] = []
+    violation: Optional[Dict[str, Any]] = None
+    for index in range(int(attempts)):
+        nemesis = random_nemesis(rng, procs, models=models, max_clauses=max_clauses)
+        report = _check_nemesis(base, nemesis, config)
+        tried.append(
+            {
+                "index": index,
+                "nemesis": nemesis.to_spec_str(),
+                "status": report.status,
+                "violations": [v.oracle for v in report.violations],
+            }
+        )
+        if report.violations:
+            minimal, trail = shrink(base, nemesis, config)
+            final = _check_nemesis(base, minimal, config)
+            violation = {
+                "attempt": index,
+                "nemesis": nemesis.to_spec_str(),
+                "violations": [v.oracle for v in report.violations],
+                "minimal": minimal.to_spec_str(),
+                "shrink_trail": trail,
+                "verdicts": [v.to_json() for v in final.verdicts],
+            }
+            break
+    result = SearchResult(
+        base=base,
+        seed=int(seed),
+        config=config,
+        attempts=tuple(tried),
+        violation=violation,
+    )
+    if write:
+        path = ledger_path(base, seed, out_dir)
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        write_atomic(path, canonical_dumps(result.to_doc()))
+        result = replace(result, path=path)
+    return result

@@ -12,6 +12,9 @@
     python -m repro exp show chaos-storm --json
     python -m repro faults list
     python -m repro faults describe partition
+    python -m repro check list
+    python -m repro check run balanced:4:2:30 --nemesis chaos:drop=0.15,notify=1
+    python -m repro check search balanced:4:2:30 --seed 1 --attempts 10
     python -m repro report run rollback-vs-splice --replications 5
     python -m repro report compare rollback-vs-splice --axis policy
     python -m repro perf run --quick
@@ -30,7 +33,13 @@ process-pool fan-out and on-disk result caching (see
 ``docs/SCENARIOS.md``).  The ``faults`` subcommands drive the
 fault-model registry (:mod:`repro.faults`): ``faults list`` shows
 every registered nemesis model and ``faults describe`` one model's
-parameters and spec grammar (see ``docs/FAULTS.md``).  The ``report``
+parameters and spec grammar (see ``docs/FAULTS.md``).  The ``check``
+subcommands drive the trace-oracle subsystem (:mod:`repro.check`):
+``check list`` shows the oracle catalog, ``check run`` evaluates one
+run — or, with ``--scenario``, a whole grid — against the invariants,
+and ``check search`` hunts random nemesis schedules for violations and
+shrinks them to minimal reproducers with a deterministic ledger under
+``results/check/`` (see ``docs/CHECK.md``).  The ``report``
 subcommands drive the statistical reporting subsystem
 (:mod:`repro.report`): ``report run`` aggregates a (replicated) sweep
 into per-point median/IQR/bootstrap-CI summaries, ``report compare``
@@ -211,6 +220,97 @@ def build_parser() -> argparse.ArgumentParser:
         "describe", help="print one fault model's parameters and an example spec"
     )
     faults_desc.add_argument("model", help="model name (see `repro faults list`)")
+
+    check = sub.add_parser(
+        "check", help="trace oracles and adversarial schedule search"
+    )
+    check_sub = check.add_subparsers(dest="check_command", required=True)
+    check_sub.add_parser("list", help="list the oracle catalog")
+
+    def _check_common(p) -> None:
+        p.add_argument(
+            "--horizon", type=float, default=None, metavar="FRAC",
+            help="bounded-recovery horizon as a multiple of the baseline "
+            "makespan (default: 3.0)",
+        )
+        p.add_argument(
+            "--json", action="store_true", help="emit canonical JSON"
+        )
+
+    check_run = check_sub.add_parser(
+        "run", help="run one spec (or a whole scenario) under the oracles"
+    )
+    check_run.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload spec (omit when using --scenario)",
+    )
+    check_run.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="check every machine point of a registered scenario instead "
+        "of one flag-built spec",
+    )
+    check_run.add_argument(
+        "--policy", choices=POLICIES, default=None, help="default: rollback"
+    )
+    check_run.add_argument("--processors", type=int, default=None, help="default: 4")
+    check_run.add_argument("--seed", type=int, default=None, help="default: 0")
+    check_run.add_argument(
+        "--fault", type=_parse_fault, action="append", default=[],
+        metavar="TIME:NODE", help="kill NODE at TIME (repeatable)",
+    )
+    check_run.add_argument(
+        "--nemesis", default=None, metavar="SPEC",
+        help="fault-model composition to check under (see `repro faults list`)",
+    )
+    check_run.add_argument(
+        "--oracle", action="append", default=[], metavar="NAME",
+        help="evaluate only this oracle (repeatable; default: all; "
+        "see `repro check list`)",
+    )
+    _check_common(check_run)
+
+    check_search = check_sub.add_parser(
+        "search", help="search random nemesis schedules for oracle violations"
+    )
+    check_search.add_argument(
+        "workload", nargs="?", default=None,
+        help="base workload spec (omit when using --scenario)",
+    )
+    check_search.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="take the base spec from a registered scenario's first machine "
+        "point (faults and nemesis cleared — the searcher owns that axis)",
+    )
+    check_search.add_argument(
+        "--policy", choices=POLICIES, default=None, help="default: rollback"
+    )
+    check_search.add_argument("--processors", type=int, default=None, help="default: 4")
+    check_search.add_argument("--seed", type=int, default=0, help="generator seed (default: 0)")
+    check_search.add_argument(
+        "--attempts", type=int, default=12, metavar="N",
+        help="schedules to try before giving up (default: 12)",
+    )
+    check_search.add_argument(
+        "--models", default=None, metavar="M1,M2",
+        help="comma-separated fault models the generator may draw "
+        "(default: all generatable models)",
+    )
+    check_search.add_argument(
+        "--max-clauses", type=int, default=2, metavar="N",
+        help="max composed clauses per schedule (default: 2)",
+    )
+    check_search.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="ledger directory (default: results/check)",
+    )
+    check_search.add_argument(
+        "--no-write", action="store_true", help="search only; write no ledger"
+    )
+    check_search.add_argument(
+        "--expect", choices=("violation", "clean"), default=None,
+        help="fail (exit 1) unless the search ends this way — the CI gate",
+    )
+    _check_common(check_search)
 
     report = sub.add_parser(
         "report", help="statistical reports over (replicated) scenario sweeps"
@@ -620,6 +720,186 @@ def cmd_faults_describe(args, out) -> int:
     return 0
 
 
+def cmd_check_list(out) -> int:
+    from repro.check import all_oracles
+
+    rows = [[info.name, info.summary] for info in all_oracles().values()]
+    print(format_table(["oracle", "invariant"], rows, title="Trace oracles"), file=out)
+    print(
+        "\n`repro check run WORKLOAD [--nemesis SPEC]` evaluates a run, "
+        "`repro check run --scenario NAME` a whole grid,\n"
+        "`repro check search WORKLOAD --seed N` hunts for violating "
+        "schedules and shrinks them (docs/CHECK.md has the semantics)",
+        file=out,
+    )
+    return 0
+
+
+def _check_config(args):
+    from repro.check import CheckConfig
+
+    kwargs = {}
+    if args.horizon is not None:
+        kwargs["horizon_frac"] = args.horizon
+    if getattr(args, "oracle", None):
+        kwargs["oracles"] = tuple(args.oracle)
+    return CheckConfig(**kwargs)
+
+
+def _check_runspec_from_args(args) -> RunSpec:
+    """Resolve the ``check`` flag subset into a RunSpec."""
+    if args.workload is None:
+        raise SpecError(
+            "a workload (or --scenario NAME) is required", field="workload"
+        )
+    builder = Experiment().workload(args.workload)
+    for flag, setter in (
+        (args.policy, builder.policy),
+        (args.processors, builder.processors),
+        (args.seed, builder.seed),
+        (getattr(args, "nemesis", None), builder.nemesis),
+    ):
+        if flag is not None:
+            setter(flag)
+    for fault in getattr(args, "fault", []):
+        builder.fault(fault.time, fault.node, mode="time")
+    return builder.build()
+
+
+def _scenario_runspecs(name: str) -> List[RunSpec]:
+    """Every machine point of a scenario, as validated RunSpecs."""
+    from repro.exp import expanded_runspecs, get_scenario
+
+    spec = get_scenario(name)  # KeyError -> caller's diagnostic
+    if spec.runner != "machine":
+        raise SpecError(
+            f"scenario {name!r} uses the {spec.runner!r} runner; only "
+            "machine scenarios are checkable",
+            field="check.scenario", value=name,
+        )
+    return [RunSpec.from_json(doc).validate() for doc in expanded_runspecs(spec)]
+
+
+def cmd_check_run(args, out) -> int:
+    from repro.check import check_spec
+    from repro.util.jsonio import emit_json
+
+    try:
+        config = _check_config(args)
+        if args.scenario is not None:
+            if args.workload is not None:
+                raise SpecError(
+                    "--scenario replaces the workload argument; give one or "
+                    "the other",
+                    field="check.scenario", value=args.workload,
+                )
+            specs = _scenario_runspecs(args.scenario)
+        else:
+            specs = [_check_runspec_from_args(args)]
+        reports = [check_spec(spec, config) for spec in specs]
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ReproError, SpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = [
+            {"spec": spec.to_json(), "report": report.to_json()}
+            for spec, (_, report) in zip(specs, reports)
+        ]
+        emit_json(payload if args.scenario else payload[0], out=out)
+    elif args.scenario is not None:
+        rows = [
+            [
+                spec.workload.to_spec_str(),
+                spec.policy.to_spec_str(),
+                spec.nemesis.to_spec_str() or "-",
+                ";".join(f"{f:g}:{n}" for f, n in spec.faults.entries) or "-",
+                report.status,
+                ",".join(v.oracle for v in report.violations) or "-",
+            ]
+            for spec, (_, report) in zip(specs, reports)
+        ]
+        print(
+            format_table(
+                ["workload", "policy", "nemesis", "faults", "status", "violated"],
+                rows,
+                title=f"Oracle verdicts: {args.scenario}",
+            ),
+            file=out,
+        )
+    else:
+        spec, (handle, report) = specs[0], reports[0]
+        print(handle.result.summary(), file=out)
+        print(report.table(), file=out)
+    return 0 if all(report.ok for _, report in reports) else 1
+
+
+def cmd_check_search(args, out) -> int:
+    from repro.check import DEFAULT_LEDGER_DIR, search
+    from repro.faults import GENERATABLE_MODELS
+    from repro.util.jsonio import emit_json
+
+    try:
+        if args.scenario is not None:
+            if args.workload is not None:
+                raise SpecError(
+                    "--scenario replaces the workload argument; give one or "
+                    "the other",
+                    field="check.scenario", value=args.workload,
+                )
+            from dataclasses import replace as _replace
+
+            from repro.api import FaultSpec as _FaultSpec, NemesisSpec as _NemesisSpec
+
+            base = _replace(
+                _scenario_runspecs(args.scenario)[0],
+                faults=_FaultSpec(), nemesis=_NemesisSpec(),
+            )
+        else:
+            base = _check_runspec_from_args(args)
+        models = tuple(GENERATABLE_MODELS)
+        if args.models:
+            models = tuple(m.strip() for m in args.models.split(",") if m.strip())
+            unknown = [m for m in models if m not in GENERATABLE_MODELS]
+            if unknown:
+                raise SpecError(
+                    f"cannot generate fault model(s) {unknown}",
+                    field="check.models", value=args.models,
+                    allowed=GENERATABLE_MODELS,
+                )
+        result = search(
+            base,
+            seed=args.seed,
+            attempts=args.attempts,
+            models=models,
+            max_clauses=args.max_clauses,
+            config=_check_config(args),
+            out_dir=args.out_dir or DEFAULT_LEDGER_DIR,
+            write=not args.no_write,
+        )
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ReproError, SpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        emit_json(result.to_doc(), out=out)
+    else:
+        print(result.summary(), file=out)
+        if result.path:
+            print(f"ledger: {result.path}", file=out)
+    if args.expect == "violation" and not result.found:
+        print("expected a violation; search came back clean", file=sys.stderr)
+        return 1
+    if args.expect == "clean" and result.found:
+        print("expected a clean search; found a violation", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report_list(out) -> int:
     from repro.exp import all_scenarios
     from repro.report import DEFAULT_OUT_DIR
@@ -829,6 +1109,12 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         if args.faults_command == "list":
             return cmd_faults_list(out)
         return cmd_faults_describe(args, out)
+    if args.command == "check":
+        if args.check_command == "list":
+            return cmd_check_list(out)
+        if args.check_command == "run":
+            return cmd_check_run(args, out)
+        return cmd_check_search(args, out)
     if args.command == "report":
         if args.report_command == "list":
             return cmd_report_list(out)

@@ -9,6 +9,13 @@ the run's seed.  See ``docs/FAULTS.md`` for the model catalog and
 composition semantics, and ``repro faults list|describe`` on the CLI.
 """
 
+from repro.faults.generate import (
+    GENERATABLE_MODELS,
+    random_clause,
+    random_nemesis,
+    shrink_candidates,
+    spec_size,
+)
 from repro.faults.model import FaultModel, Interception, NemesisSchedule
 from repro.faults.models import (
     DROPPABLE,
@@ -31,6 +38,7 @@ from repro.faults.registry import (
 
 __all__ = [
     "DROPPABLE",
+    "GENERATABLE_MODELS",
     "CascadingCrash",
     "DetectorJitter",
     "FaultModel",
@@ -46,5 +54,9 @@ __all__ = [
     "get_model",
     "parse_model",
     "parse_nemesis",
+    "random_clause",
+    "random_nemesis",
     "register",
+    "shrink_candidates",
+    "spec_size",
 ]

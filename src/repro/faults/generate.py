@@ -1,0 +1,196 @@
+"""Seeded random nemesis schedules and deterministic shrinking.
+
+The adversarial search in :mod:`repro.check` needs two primitives from
+the fault layer:
+
+* **Generation** — :func:`random_nemesis` draws a valid
+  :class:`~repro.api.specs.NemesisSpec` from a caller-owned
+  ``random.Random``, with crash/partition/chaos timing drawn over
+  makespan fractions on a coarse grid (multiples of 0.05) so every
+  generated schedule renders to a clean spec string and round-trips
+  byte-identically through the grammar.
+
+* **Shrinking** — :func:`shrink_candidates` enumerates strictly-smaller
+  variants of a schedule (fewer clauses, fewer parameters, halved
+  windows and probabilities, smaller partition groups) in a fixed,
+  deterministic order.  Every candidate is strictly smaller under
+  :func:`spec_size`, so a greedy first-improvement loop terminates and
+  reduces the same violating schedule to the same minimal reproducer on
+  every run.
+
+Both primitives validate through :meth:`NemesisSpec.parse`, so nothing
+here can emit a schedule the grammar would reject.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.api.specs import NemesisClause, NemesisSpec
+
+#: Models the random generator knows how to draw.  ``crash`` and
+#: ``cascade`` are a family: at most one of them appears per schedule
+#: and node 0 (the root host) is never a victim, so every generated
+#: schedule leaves the run theoretically recoverable.
+GENERATABLE_MODELS: Tuple[str, ...] = (
+    "crash",
+    "cascade",
+    "partition",
+    "chaos",
+    "grayfail",
+    "jitter",
+)
+
+_CRASH_FAMILY = frozenset({"crash", "cascade"})
+
+
+def _frac(rng: random.Random, lo: float, hi: float) -> float:
+    """A makespan fraction on the 0.05 grid in [lo, hi]."""
+    steps = int(round((hi - lo) / 0.05))
+    return round(lo + 0.05 * rng.randint(0, steps), 2)
+
+
+def random_clause(
+    rng: random.Random, model: str, n_processors: int
+) -> NemesisClause:
+    """Draw one valid clause for ``model`` on an ``n_processors`` machine."""
+    n = int(n_processors)
+    if n < 2:
+        raise ValueError("schedule generation needs at least 2 processors")
+    if model == "crash":
+        body = f"at={_frac(rng, 0.1, 0.8)},node={rng.randrange(1, n)}"
+    elif model == "cascade":
+        prob = round(0.1 * rng.randint(2, 6), 1)
+        body = f"at={_frac(rng, 0.1, 0.7)},node={rng.randrange(1, n)},prob={prob}"
+    elif model == "partition":
+        size = rng.randint(1, n - 1)
+        group = "-".join(str(g) for g in sorted(rng.sample(range(n), size)))
+        body = f"start={_frac(rng, 0.1, 0.6)},dur={_frac(rng, 0.15, 0.5)},group={group}"
+    elif model == "chaos":
+        parts = [f"drop={round(0.05 * rng.randint(1, 5), 2)}"]
+        if rng.random() < 0.35:
+            parts.append(f"dup={round(0.05 * rng.randint(1, 4), 2)}")
+        if rng.random() < 0.35:
+            parts.append(f"reorder={round(0.05 * rng.randint(1, 4), 2)}")
+        if rng.random() < 0.5:
+            parts.append("notify=1")
+        parts.append(f"start={_frac(rng, 0.0, 0.4)}")
+        parts.append(f"dur={_frac(rng, 0.3, 0.8)}")
+        body = ",".join(parts)
+    elif model == "grayfail":
+        body = (
+            f"node={rng.randrange(0, n)},start={_frac(rng, 0.1, 0.6)},"
+            f"dur={_frac(rng, 0.2, 0.6)},factor={rng.choice((2, 3, 4, 6))}"
+        )
+    elif model == "jitter":
+        body = f"max={rng.choice((10, 15, 20, 25, 30, 40))}"
+    else:
+        raise ValueError(
+            f"cannot generate fault model {model!r}; "
+            f"generatable: {GENERATABLE_MODELS}"
+        )
+    return NemesisSpec.parse(f"{model}:{body}").clauses[0]
+
+
+def random_nemesis(
+    rng: random.Random,
+    n_processors: int,
+    models: Sequence[str] = GENERATABLE_MODELS,
+    max_clauses: int = 2,
+) -> NemesisSpec:
+    """Draw a composed schedule of 1..max_clauses clauses.
+
+    The draw is entirely a function of ``rng``'s state, so a seeded
+    generator reproduces the same schedule sequence forever.
+    """
+    pool = [m for m in models if m in GENERATABLE_MODELS]
+    if not pool:
+        raise ValueError(f"no generatable models in {tuple(models)!r}")
+    clauses: List[NemesisClause] = []
+    crashed = False
+    for _ in range(rng.randint(1, max(1, max_clauses))):
+        choices = [
+            m for m in pool if not (crashed and m in _CRASH_FAMILY)
+        ] or pool
+        model = rng.choice(choices)
+        crashed = crashed or model in _CRASH_FAMILY
+        clauses.append(random_clause(rng, model, n_processors))
+    # Re-parse the rendered composition: one canonicalization path for
+    # everything the generator can ever hand to the search layer.
+    return NemesisSpec.parse(NemesisSpec(tuple(clauses)).to_spec_str())
+
+
+# -- shrinking ----------------------------------------------------------------
+
+
+def spec_size(spec: NemesisSpec) -> Tuple[int, int, float]:
+    """Ordering key for schedules: fewer clauses < fewer params < smaller values."""
+    n_params = sum(len(c.params) for c in spec.clauses)
+    magnitude = 0.0
+    for clause in spec.clauses:
+        for _, value in clause.params:
+            if isinstance(value, tuple):
+                magnitude += len(value)
+            else:
+                magnitude += abs(float(value))
+    return (len(spec.clauses), n_params, round(magnitude, 6))
+
+
+def _removable(model: str, key: str) -> bool:
+    from repro.faults.registry import get_model
+
+    return get_model(model).params[key].default is not None
+
+
+def _replace_clause(
+    spec: NemesisSpec, index: int, clause: NemesisClause
+) -> NemesisSpec:
+    clauses = list(spec.clauses)
+    clauses[index] = clause
+    return NemesisSpec.parse(NemesisSpec(tuple(clauses)).to_spec_str())
+
+
+def shrink_candidates(spec: NemesisSpec) -> List[NemesisSpec]:
+    """Strictly-smaller variants of ``spec``, in a fixed order.
+
+    Order: drop whole clauses (front to back), then drop defaulted
+    parameters, then halve float values, then shrink partition groups.
+    Every candidate is strictly smaller under :func:`spec_size`; callers
+    greedily take the first candidate that still violates and repeat.
+    """
+    out: List[NemesisSpec] = []
+    clauses = spec.clauses
+    if len(clauses) > 1:
+        for i in range(len(clauses)):
+            kept = clauses[:i] + clauses[i + 1 :]
+            out.append(NemesisSpec.parse(NemesisSpec(kept).to_spec_str()))
+    for i, clause in enumerate(clauses):
+        for key, _ in clause.params:
+            if _removable(clause.model, key):
+                params = tuple(p for p in clause.params if p[0] != key)
+                out.append(
+                    _replace_clause(spec, i, NemesisClause(clause.model, params))
+                )
+    for i, clause in enumerate(clauses):
+        for j, (key, value) in enumerate(clause.params):
+            if isinstance(value, tuple) or isinstance(value, bool):
+                continue
+            if isinstance(value, int) or key in ("node", "notify"):
+                continue
+            halved = round(float(value) / 2.0, 2)
+            if halved <= 0 or halved >= float(value):
+                continue
+            params = clause.params[:j] + ((key, halved),) + clause.params[j + 1 :]
+            out.append(_replace_clause(spec, i, NemesisClause(clause.model, params)))
+    for i, clause in enumerate(clauses):
+        for j, (key, value) in enumerate(clause.params):
+            if isinstance(value, tuple) and len(value) > 1:
+                params = (
+                    clause.params[:j] + ((key, value[:-1]),) + clause.params[j + 1 :]
+                )
+                out.append(
+                    _replace_clause(spec, i, NemesisClause(clause.model, params))
+                )
+    base = spec_size(spec)
+    return [c for c in out if spec_size(c) < base]

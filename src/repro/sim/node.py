@@ -468,6 +468,7 @@ class Node:
         record.state = SpawnState.IN_TRANSIT
         record.executor = None
         record.executor_instance = None
+        record.reissued = True
         record.packet = record.packet.reissued_to(ReturnAddress(self.id, task.uid))
         # Timer before routing: a local placement acks synchronously.
         self._arm_ack_timer(task, record)
@@ -629,6 +630,16 @@ class Node:
                 uid=task.uid,
                 value=repr(msg.value),
             )
+            if record.reissued:
+                # A previously reissued child finally answered: the
+                # recovery obligation opened by recovery_reissue closes.
+                trace.emit(
+                    self.queue.now,
+                    self.id,
+                    "recovery_complete",
+                    stamp=str(msg.sender_stamp),
+                    uid=task.uid,
+                )
         self.policy.on_child_result(self, task, record, msg.value)
         self.spawn_index.pop(record.child_stamp, None)
         task.pending_deliveries[record.digit] = msg.value

@@ -66,6 +66,9 @@ class SpawnRecord:
     ack_timer: Any = None
     #: True once this record's packet has a checkpoint in the node table.
     checkpointed: bool = False
+    #: True once a recovery policy has reissued this record's packet; the
+    #: next fulfilment then closes a recovery (traced as recovery_complete).
+    reissued: bool = False
 
     def fulfill(self, value: Any) -> None:
         self.result = value

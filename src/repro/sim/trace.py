@@ -47,6 +47,7 @@ KINDS = (
     "node_failed",
     "failure_detected",
     "recovery_reissue",
+    "recovery_complete",
     "twin_created",
     "delivery_failed",
     "ack_received",

@@ -1,0 +1,357 @@
+"""Oracle-layer unit tests: synthetic traces and end-to-end regimes.
+
+The oracles are pure functions of a :class:`CheckContext`, so most
+cases here build tiny hand-written traces that exhibit exactly one
+phenomenon — an acausal delivery, an unmatched checkpoint drop, a
+stranded recovery — and assert the verdict and its violating window.
+The end-to-end cases then pin the three real regimes: fault-free runs
+pass everything, crash recovery passes bounded-recovery, and the
+classifier regimes from ``docs/FAULTS.md`` land where documented.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Experiment, Session
+from repro.check import (
+    ORACLE_NAMES,
+    CheckConfig,
+    CheckContext,
+    CheckReport,
+    all_oracles,
+    check_spec,
+    evaluate_context,
+)
+from repro.errors import SpecError
+from repro.sim.trace import KINDS, TraceRecord
+
+
+def R(time, node, kind, **detail):
+    assert kind in KINDS
+    return TraceRecord(time, node, kind, detail)
+
+
+def ctx(records, completed=True, verified=True, makespan=100.0, horizon=300.0, **kw):
+    return CheckContext(
+        records=tuple(records),
+        completed=completed,
+        verified=verified,
+        makespan=makespan,
+        horizon=horizon,
+        **kw,
+    )
+
+
+def verdict(name, context, **config):
+    report = evaluate_context(context, CheckConfig(oracles=(name,), **config))
+    assert len(report.verdicts) == 1
+    return report.verdicts[0]
+
+
+class TestCatalog:
+    def test_catalog_names_and_order(self):
+        assert ORACLE_NAMES == (
+            "result-agreement",
+            "no-orphan-commit",
+            "checkpoint-coverage",
+            "causal-delivery",
+            "bounded-recovery",
+            "weak-recovery",
+        )
+        assert tuple(all_oracles()) == ORACLE_NAMES
+
+    def test_unknown_oracle_is_a_spec_error(self):
+        with pytest.raises(SpecError) as err:
+            evaluate_context(ctx([]), CheckConfig(oracles=("no-such-oracle",)))
+        assert err.value.allowed == ORACLE_NAMES
+
+    def test_subset_selection(self):
+        report = evaluate_context(
+            ctx([]), CheckConfig(oracles=("weak-recovery", "causal-delivery"))
+        )
+        assert [v.oracle for v in report.verdicts] == [
+            "weak-recovery", "causal-delivery",
+        ]
+
+
+class TestResultAgreement:
+    def test_stall_is_a_violation_with_window(self):
+        v = verdict(
+            "result-agreement",
+            ctx([R(50.0, 0, "spawn", stamp="0")], completed=False, verified=None),
+        )
+        assert v.status == "violation" and v.window == (50.0, 100.0)
+
+    def test_wrong_value_is_a_violation(self):
+        v = verdict("result-agreement", ctx([], verified=False))
+        assert v.status == "violation" and "sequential oracle" in v.detail
+
+    def test_unverified_completion_passes(self):
+        assert verdict("result-agreement", ctx([], verified=None)).status == "pass"
+
+    def test_verified_completion_passes(self):
+        assert verdict("result-agreement", ctx([])).status == "pass"
+
+
+class TestNoOrphanCommit:
+    def test_delivery_into_aborted_instance_is_a_violation(self):
+        v = verdict(
+            "no-orphan-commit",
+            ctx([
+                R(10.0, 1, "task_aborted", stamp="0.1", uid=7, reason="rollback"),
+                R(30.0, 1, "result_received", stamp="0.1.0", uid=7, value="3"),
+            ]),
+        )
+        assert v.status == "violation" and v.window == (10.0, 30.0)
+
+    def test_completion_of_aborted_instance_is_a_violation(self):
+        v = verdict(
+            "no-orphan-commit",
+            ctx([
+                R(10.0, 1, "task_aborted", stamp="0.1", uid=7, reason="rollback"),
+                R(20.0, 1, "task_completed", stamp="0.1", uid=7, value="3"),
+            ]),
+        )
+        assert v.status == "violation"
+
+    def test_abort_then_silence_passes(self):
+        v = verdict(
+            "no-orphan-commit",
+            ctx([
+                R(10.0, 1, "task_aborted", stamp="0.1", uid=7, reason="rollback"),
+                R(30.0, 1, "result_received", stamp="0.1.0", uid=9, value="3"),
+            ]),
+        )
+        assert v.status == "pass"
+
+
+class TestCheckpointCoverage:
+    def test_unmatched_drop_is_a_violation(self):
+        v = verdict(
+            "checkpoint-coverage",
+            ctx([R(5.0, 0, "checkpoint_dropped", stamp="0.1")]),
+        )
+        assert v.status == "violation" and "negative" in v.detail
+
+    def test_drop_of_other_stamp_is_still_unmatched(self):
+        v = verdict(
+            "checkpoint-coverage",
+            ctx([
+                R(1.0, 0, "checkpoint_recorded", stamp="0.1", dest=1),
+                R(5.0, 0, "checkpoint_dropped", stamp="0.2"),
+            ]),
+        )
+        assert v.status == "violation"
+
+    def test_balanced_coverage_passes(self):
+        v = verdict(
+            "checkpoint-coverage",
+            ctx([
+                R(1.0, 0, "checkpoint_recorded", stamp="0.1", dest=1),
+                R(2.0, 0, "checkpoint_recorded", stamp="0.1", dest=2),
+                R(5.0, 0, "checkpoint_dropped", stamp="0.1"),
+                R(6.0, 0, "checkpoint_dropped", stamp="0.1"),
+            ]),
+        )
+        assert v.status == "pass" and "2 recorded / 2 dropped" in v.detail
+
+
+class TestCausalDelivery:
+    def test_receive_without_origin_is_a_violation(self):
+        v = verdict(
+            "causal-delivery",
+            ctx([R(10.0, 0, "result_received", stamp="0.1", uid=1, value="2")]),
+        )
+        assert v.status == "violation" and v.window == (10.0, 10.0)
+
+    @pytest.mark.parametrize(
+        "origin", ("result_sent", "result_relayed", "result_orphan_rerouted")
+    )
+    def test_each_origin_kind_legitimizes(self, origin):
+        v = verdict(
+            "causal-delivery",
+            ctx([
+                R(5.0, 2, origin, stamp="0.1", to="0"),
+                R(10.0, 0, "result_received", stamp="0.1", uid=1, value="2"),
+            ]),
+        )
+        assert v.status == "pass"
+
+    def test_origin_after_receive_is_still_acausal(self):
+        v = verdict(
+            "causal-delivery",
+            ctx([
+                R(10.0, 0, "result_received", stamp="0.1", uid=1, value="2"),
+                R(15.0, 2, "result_sent", stamp="0.1", to="0"),
+            ]),
+        )
+        assert v.status == "violation"
+
+
+class TestBoundedRecovery:
+    def test_closed_within_horizon_passes(self):
+        v = verdict(
+            "bounded-recovery",
+            ctx([
+                R(10.0, 1, "recovery_reissue", stamp="0.1", reason="rollback", uid=3),
+                R(40.0, 1, "recovery_complete", stamp="0.1", uid=3),
+            ]),
+        )
+        assert v.status == "pass"
+
+    def test_closed_late_is_a_violation(self):
+        v = verdict(
+            "bounded-recovery",
+            ctx(
+                [
+                    R(10.0, 1, "recovery_reissue", stamp="0.1", reason="r", uid=3),
+                    R(90.0, 1, "result_received", stamp="0.1", uid=3, value="2"),
+                ],
+                horizon=50.0,
+            ),
+        )
+        assert v.status == "violation" and v.window == (10.0, 90.0)
+
+    def test_open_obligation_on_a_stalled_run_is_a_violation(self):
+        v = verdict(
+            "bounded-recovery",
+            ctx(
+                [R(10.0, 1, "recovery_reissue", stamp="0.1", reason="r", uid=3)],
+                completed=False, verified=None,
+            ),
+        )
+        assert v.status == "violation" and "stalled" in v.detail
+
+    def test_holder_abort_moots_the_obligation(self):
+        v = verdict(
+            "bounded-recovery",
+            ctx([
+                R(10.0, 1, "recovery_reissue", stamp="0.1", reason="r", uid=3),
+                R(20.0, 1, "task_aborted", stamp="0", uid=3, reason="rollback"),
+            ]),
+        )
+        assert v.status == "pass"
+
+    def test_later_reissue_supersedes_the_window(self):
+        v = verdict(
+            "bounded-recovery",
+            CheckContext(
+                records=(
+                    R(10.0, 1, "recovery_reissue", stamp="0.1", reason="r", uid=3),
+                    R(80.0, 1, "recovery_reissue", stamp="0.1", reason="r", uid=3),
+                    R(95.0, 1, "recovery_complete", stamp="0.1", uid=3),
+                ),
+                completed=True, verified=True, makespan=100.0, horizon=30.0,
+            ),
+        )
+        assert v.status == "pass"
+
+
+class TestWeakRecoveryClassifier:
+    def test_no_detections_passes(self):
+        assert verdict("weak-recovery", ctx([])).status == "pass"
+
+    def test_true_positive_passes(self):
+        v = verdict(
+            "weak-recovery",
+            ctx([
+                R(5.0, 2, "node_failed"),
+                R(10.0, 0, "failure_detected", dead=2),
+            ]),
+        )
+        assert v.status == "pass" and "real crash" in v.detail
+
+    def test_symmetric_false_positive_is_weak(self):
+        v = verdict(
+            "weak-recovery",
+            ctx([
+                R(10.0, 0, "failure_detected", dead=1),
+                R(10.0, 1, "failure_detected", dead=0),
+            ]),
+        )
+        assert v.status == "weak" and "symmetric" in v.detail
+
+    def test_one_sided_survived_is_weak(self):
+        v = verdict(
+            "weak-recovery",
+            ctx([R(10.0, 0, "failure_detected", dead=1)]),
+        )
+        assert v.status == "weak" and "one-sided" in v.detail
+
+    def test_one_sided_stranding_the_run_is_a_violation(self):
+        v = verdict(
+            "weak-recovery",
+            ctx(
+                [R(10.0, 0, "failure_detected", dead=1)],
+                completed=False, verified=None,
+            ),
+        )
+        assert v.status == "violation" and "0->1" in v.detail
+        assert v.window == (10.0, 100.0)
+
+    def test_dead_nodes_derive_from_trace_or_metrics(self):
+        records = (R(5.0, 2, "node_failed"),)
+        assert ctx(records).dead_nodes() == frozenset({2})
+        assert ctx(records, failed_nodes=(3,)).dead_nodes() == frozenset({3})
+
+
+class TestReport:
+    def test_status_is_the_worst_verdict(self):
+        report = evaluate_context(
+            ctx([R(10.0, 0, "failure_detected", dead=1)])
+        )
+        assert report.status == "weak" and report.ok
+        report = evaluate_context(ctx([], verified=False))
+        assert report.status == "violation" and not report.ok
+        assert [v.oracle for v in report.violations] == ["result-agreement"]
+
+    def test_verdict_lookup(self):
+        report = evaluate_context(ctx([]))
+        assert report.verdict("causal-delivery").status == "pass"
+        with pytest.raises(KeyError):
+            report.verdict("nope")
+
+    def test_to_json_shape(self):
+        doc = evaluate_context(ctx([])).to_json()
+        assert doc["status"] == "pass" and len(doc["verdicts"]) == len(ORACLE_NAMES)
+        assert {"oracle", "status", "detail", "window"} == set(doc["verdicts"][0])
+
+    def test_table_renders_every_oracle(self):
+        text = evaluate_context(ctx([])).table()
+        for name in ORACLE_NAMES:
+            assert name in text
+
+
+class TestEndToEnd:
+    def test_fault_free_run_passes_every_oracle(self):
+        _, report = check_spec(
+            Experiment.workload("balanced:4:2:30").policy("rollback")
+            .processors(4).seed(0).build()
+        )
+        assert report.status == "pass"
+
+    def test_crash_recovery_passes_every_oracle(self):
+        _, report = check_spec(
+            Experiment.workload("balanced:4:2:30").policy("rollback")
+            .processors(4).seed(0).fault(0.4, 1).build()
+        )
+        assert report.status == "pass"
+        assert "reissue" in report.verdict("bounded-recovery").detail
+
+    def test_session_oracles_option_attaches_a_report(self):
+        session = Session(oracles=True)
+        handle = session.run(
+            Experiment.workload("balanced:3:2:10").processors(4).build()
+        )
+        assert isinstance(handle.check, CheckReport)
+        assert handle.check.status == "pass"
+        # oracle evaluation forces the trace on
+        assert session.collect_trace and len(handle.result.trace) > 0
+
+    def test_session_with_custom_config(self):
+        session = Session(oracles=CheckConfig(oracles=("result-agreement",)))
+        handle = session.run(
+            Experiment.workload("balanced:3:2:10").processors(4).build()
+        )
+        assert [v.oracle for v in handle.check.verdicts] == ["result-agreement"]

@@ -1,0 +1,74 @@
+"""Regression: the documented weak-recovery regimes, as oracle verdicts.
+
+``docs/FAULTS.md`` ("Recoverability boundaries") makes two informal
+claims about false-positive failure detections:
+
+1. A **symmetric** false positive (a healing partition: both sides
+   write each other off) is safe — each side regenerates the other's
+   regions and determinacy absorbs post-heal duplicates.
+2. A **one-sided** false positive (notified chaos drops: only the
+   sender applies the "unreachable = faulty" inference) exhibits
+   weak-recovery semantics and can strand a parent forever under
+   rollback — the Fabbretti et al. regime.
+
+This suite turns both claims into executable ``weak-recovery`` oracle
+verdicts: the partition regime must classify as **weak, not
+violating**, with the run still correct; the one-sided regime must
+classify as a **violation** on a seed where it strands the run.
+"""
+
+from __future__ import annotations
+
+from repro.api import Experiment
+from repro.check import check_spec
+
+BASE = Experiment.workload("balanced:4:2:30").processors(4).seed(0)
+
+
+def _check(policy, nemesis):
+    return check_spec(BASE.policy(policy).nemesis(nemesis).build())
+
+
+class TestSymmetricFalsePositivesAreWeakNotViolating:
+    """Claim 1: the partition-heal regime is a documented degradation."""
+
+    def test_rollback_partition_classifies_weak(self):
+        handle, report = _check(
+            "rollback", "partition:start=0.3,dur=0.25,group=0-1"
+        )
+        verdict = report.verdict("weak-recovery")
+        assert verdict.status == "weak"
+        assert "symmetric" in verdict.detail
+        # weak is not a violation: the whole report stays ok and the
+        # run still agrees with the sequential oracle
+        assert report.ok and handle.result.correct
+        assert report.verdict("result-agreement").status == "pass"
+
+    def test_splice_partition_classifies_weak_too(self):
+        _, report = _check("splice", "partition:start=0.3,dur=0.25,group=0-1")
+        assert report.verdict("weak-recovery").status == "weak"
+        assert report.ok
+
+
+class TestOneSidedFalsePositivesViolate:
+    """Claim 2: the notified one-sided drop regime strands rollback."""
+
+    def test_notified_chaos_drops_violate_weak_recovery(self):
+        handle, report = _check(
+            "rollback", "chaos:drop=0.15,notify=1,start=0.1,dur=0.6"
+        )
+        verdict = report.verdict("weak-recovery")
+        assert verdict.status == "violation"
+        assert "one-sided" in verdict.detail
+        # the stranding is visible end to end: the run stalls, so
+        # result agreement and bounded recovery fall with it
+        assert not handle.result.completed
+        assert report.verdict("result-agreement").status == "violation"
+        assert report.verdict("bounded-recovery").status == "violation"
+
+    def test_the_violating_window_is_attached(self):
+        _, report = _check(
+            "rollback", "chaos:drop=0.15,notify=1,start=0.1,dur=0.6"
+        )
+        window = report.verdict("weak-recovery").window
+        assert window is not None and window[0] < window[1]

@@ -31,6 +31,7 @@ DOC_FILES = [
     "docs/PERFORMANCE.md",
     "docs/FAULTS.md",
     "docs/REPORTS.md",
+    "docs/CHECK.md",
 ]
 
 EXP_REF = re.compile(r"exp (?:run|show) ([a-z0-9][a-z0-9-]*)")
@@ -43,6 +44,7 @@ REPORT_SCENARIO_REF = re.compile(r"report (?:run|compare) ([a-z0-9][a-z0-9-]*)")
 BENCH_REF = re.compile(r"`((?:macro|micro)-[a-z0-9-]+)`")
 PERF_CLI_REF = re.compile(r"perf (list|run|compare)")
 FAULTS_CLI_REF = re.compile(r"faults (list|describe)")
+CHECK_CLI_REF = re.compile(r"check (list|run|search)")
 
 #: The fault-model registry names are API: scenario specs, sweep caches,
 #: and docs all reference them as strings, so renames are breaking
@@ -94,6 +96,45 @@ REPORT_EXPORTS = {
     "run_report",
     "split_compare",
 }
+
+
+#: The public surface of repro.check, pinned like repro.api: the CLI,
+#: docs/CHECK.md, and the search ledgers reference these names, so
+#: removals/renames are breaking changes and must be made deliberately
+#: (here and in docs/CHECK.md).
+CHECK_EXPORTS = {
+    "CHECK_SCHEMA",
+    "DEFAULT_LEDGER_DIR",
+    "ORACLE_NAMES",
+    "STATUSES",
+    "CheckConfig",
+    "CheckContext",
+    "CheckReport",
+    "OracleInfo",
+    "SearchResult",
+    "Verdict",
+    "all_oracles",
+    "check_spec",
+    "evaluate",
+    "evaluate_context",
+    "ledger_path",
+    "oracle",
+    "search",
+    "select_oracles",
+    "shrink",
+}
+
+#: The oracle catalog names are API: ledgers, docs, and the CLI pin
+#: them as strings, so renames are breaking changes (update here and
+#: in docs/CHECK.md deliberately).
+ORACLE_NAMES = (
+    "result-agreement",
+    "no-orphan-commit",
+    "checkpoint-coverage",
+    "causal-delivery",
+    "bounded-recovery",
+    "weak-recovery",
+)
 
 
 def read_docs() -> dict:
@@ -261,6 +302,69 @@ class TestApiReferences:
         api_doc = read_docs()["docs/API.md"]
         for kind in ("balanced", "chain", "wide", "skewed", "random", "prog"):
             assert f"{kind}:" in api_doc
+
+
+class TestCheckReferences:
+    def test_check_exports_are_pinned(self):
+        import repro.check
+
+        assert set(repro.check.__all__) == CHECK_EXPORTS, (
+            "repro.check exports changed; update CHECK_EXPORTS and "
+            "docs/CHECK.md deliberately"
+        )
+        for name in CHECK_EXPORTS:
+            assert hasattr(repro.check, name), name
+
+    def test_oracle_names_are_pinned(self):
+        from repro.check import ORACLE_NAMES as live
+
+        assert live == ORACLE_NAMES, (
+            "oracle catalog changed; update ORACLE_NAMES and docs/CHECK.md "
+            "deliberately — ledger consumers match on these strings"
+        )
+
+    def test_every_oracle_documented_in_check_md(self):
+        check_doc = read_docs()["docs/CHECK.md"]
+        for name in ORACLE_NAMES:
+            assert f"`{name}`" in check_doc, (
+                f"oracle {name!r} missing from docs/CHECK.md"
+            )
+
+    def test_docs_name_the_check_cli_verbs(self):
+        readme = read_docs()["README.md"]
+        check_doc = read_docs()["docs/CHECK.md"]
+        for text in (readme, check_doc):
+            verbs = set(CHECK_CLI_REF.findall(text))
+            assert {"list", "run", "search"} <= verbs, (
+                "README and CHECK.md must document `check list`, "
+                "`check run`, and `check search`"
+            )
+
+    def test_check_cli_verbs_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["check", "list"],
+            ["check", "run", "fib-10"],
+            ["check", "run", "--scenario", "smoke"],
+            ["check", "search", "fib-10", "--seed", "3", "--expect", "clean"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == "check"
+
+    def test_check_md_documents_the_ledger(self):
+        check_doc = read_docs()["docs/CHECK.md"]
+        from repro.check import CHECK_SCHEMA
+
+        assert CHECK_SCHEMA in check_doc
+        assert "results/check" in check_doc
+        assert "shrink" in check_doc.lower()
+
+    def test_faults_md_points_at_the_oracle_layer(self):
+        faults_doc = read_docs()["docs/FAULTS.md"]
+        assert "CHECK.md" in faults_doc
+        assert "repro check" in faults_doc
 
 
 class TestReadmeDocsIndex:
