@@ -10,6 +10,8 @@
     python -m repro exp list
     python -m repro exp run rollback-vs-splice --workers 4
     python -m repro exp show chaos-storm --json
+    python -m repro exp runs
+    python -m repro exp resume smoke-79ab12cd34ef --workers 4
     python -m repro faults list
     python -m repro faults describe partition
     python -m repro check list
@@ -29,8 +31,12 @@ and policy names.  The ``exp`` subcommands drive the scenario registry
 (:mod:`repro.exp`): ``exp list`` shows every registered scenario, ``exp
 show`` prints one spec's axes and parameters (``--json`` emits the
 fully-expanded RunSpec list), and ``exp run`` executes a sweep with
-process-pool fan-out and on-disk result caching (see
-``docs/SCENARIOS.md``).  The ``faults`` subcommands drive the
+process-pool fan-out, on-disk result caching, and a crash-safe progress
+ledger (see ``docs/SCENARIOS.md``).  ``exp runs`` lists ledgered runs
+with their progress fractions and ``exp resume RUN-ID`` completes an
+interrupted sweep from its ledger, re-running only the unfinished
+points — byte-identical to an uninterrupted run (see
+``docs/LEDGER.md``).  The ``faults`` subcommands drive the
 fault-model registry (:mod:`repro.faults`): ``faults list`` shows
 every registered nemesis model and ``faults describe`` one model's
 parameters and spec grammar (see ``docs/FAULTS.md``).  The ``check``
@@ -210,6 +216,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true", help="recompute even if cached"
     )
     exp_run.add_argument(
+        "--json", action="store_true", help="print the raw result JSON payload"
+    )
+    exp_run.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="crash-safe progress-ledger directory (default: "
+        "<cache-dir>/ledger; see `repro exp resume`)",
+    )
+    exp_run.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="record no progress ledger (the run cannot be resumed)",
+    )
+
+    exp_runs = exp_sub.add_parser(
+        "runs", help="list ledgered sweep runs and their progress"
+    )
+    exp_runs.add_argument(
+        "--cache-dir",
+        default="results",
+        help="result-cache root the default ledger dir derives from "
+        "(default: ./results)",
+    )
+    exp_runs.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="ledger directory (default: <cache-dir>/ledger)",
+    )
+    exp_runs.add_argument(
+        "--json", action="store_true", help="emit the run list as canonical JSON"
+    )
+
+    exp_resume = exp_sub.add_parser(
+        "resume", help="complete an interrupted sweep from its ledger"
+    )
+    exp_resume.add_argument(
+        "run_id", help="run identifier (see `repro exp runs`)"
+    )
+    exp_resume.add_argument(
+        "--workers", type=int, default=1, help="process-pool width (1 = serial)"
+    )
+    exp_resume.add_argument(
+        "--cache-dir",
+        default="results",
+        help="result-cache root (default: ./results)",
+    )
+    exp_resume.add_argument(
+        "--no-cache", action="store_true", help="do not write the result cache"
+    )
+    exp_resume.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="ledger directory (default: <cache-dir>/ledger)",
+    )
+    exp_resume.add_argument(
         "--json", action="store_true", help="print the raw result JSON payload"
     )
 
@@ -632,8 +696,60 @@ def _render_exp_show(spec, args, out, expand) -> int:
     return 0
 
 
+def _exp_ledger_dir(args) -> Optional[str]:
+    """Resolve the ledger directory for the ``exp`` verbs.
+
+    An explicit ``--ledger-dir`` always wins; otherwise the ledger rides
+    along with the cache at ``<cache-dir>/ledger``.  ``--no-ledger`` and
+    ``--no-cache`` (an explicitly ephemeral run) disable the default.
+    """
+    import os
+
+    if getattr(args, "ledger_dir", None) is not None:
+        return args.ledger_dir
+    if getattr(args, "no_ledger", False) or getattr(args, "no_cache", False):
+        return None
+    return os.path.join(args.cache_dir, "ledger")
+
+
+def _print_sweep(sweep, spec, args, out) -> int:
+    """Shared ``exp run``/``exp resume`` output + failure exit logic."""
+    from repro.exp import sweep_table
+
+    if args.json:
+        from repro.util.jsonio import emit_json
+
+        emit_json(sweep.payload(), out=out)
+    else:
+        print(sweep_table(sweep, spec), file=out)
+        if sweep.cache_path:
+            source = "hit" if sweep.cache_hit else "miss, computed"
+            print(f"cache: {source} ({sweep.cache_path})", file=out)
+        if sweep.ledger_path:
+            resumed = (
+                f", resumed {sweep.resumed_points} point(s)"
+                if sweep.resumed_points is not None
+                else ""
+            )
+            print(
+                f"ledger: {sweep.ledger_path} (run {sweep.run_id}{resumed})",
+                file=out,
+            )
+    failed = [
+        p["index"]
+        for p in sweep.points
+        if p["result"].get("ok") is False
+        or p["result"].get("correct") is False
+        or p["result"].get("completed") is False
+    ]
+    if failed and not spec.expect_failures:
+        print(f"points with failures: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_exp_run(args, out) -> int:
-    from repro.exp import get_scenario, run_scenario, sweep_table
+    from repro.exp import get_scenario, run_scenario
 
     try:
         spec = get_scenario(args.scenario)
@@ -646,30 +762,82 @@ def cmd_exp_run(args, out) -> int:
             workers=args.workers,
             cache_dir=None if args.no_cache else args.cache_dir,
             force=args.force,
+            ledger_dir=_exp_ledger_dir(args),
         )
-    except ReproError as exc:
+    except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ReproError as exc:
+        # runtime failure (unwritable cache/ledger, failed points), not
+        # a malformed spec: one line, exit 1
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return _print_sweep(sweep, spec, args, out)
+
+
+def cmd_exp_runs(args, out) -> int:
+    from repro.exp import list_runs
+
+    ledger_dir = _exp_ledger_dir(args)
+    states = list_runs(ledger_dir)
     if args.json:
         from repro.util.jsonio import emit_json
 
-        emit_json(sweep.payload(), out=out)
-    else:
-        print(sweep_table(sweep, spec), file=out)
-        if sweep.cache_path:
-            source = "hit" if sweep.cache_hit else "miss, computed"
-            print(f"cache: {source} ({sweep.cache_path})", file=out)
-    failed = [
-        p["index"]
-        for p in sweep.points
-        if p["result"].get("ok") is False
-        or p["result"].get("correct") is False
-        or p["result"].get("completed") is False
+        payload = {
+            "schema": "repro-ledger/1",
+            "ledger_dir": ledger_dir,
+            "runs": [state.summary_doc() for state in states],
+        }
+        emit_json(payload, out=out)
+        return 0
+    if not states:
+        print(f"no ledgered runs under {ledger_dir}", file=out)
+        return 0
+    rows = [
+        [
+            state.run_id,
+            state.scenario,
+            f"{len(state.finished)}/{state.n_points}",
+            f"{state.progress():.0%}",
+            ",".join(str(i) for i in sorted(state.failed)) or "-",
+            state.status,
+        ]
+        for state in states
     ]
-    if failed and not spec.expect_failures:
-        print(f"points with failures: {failed}", file=sys.stderr)
-        return 1
+    print(
+        format_table(
+            ["run", "scenario", "finished", "progress", "failed", "status"],
+            rows,
+            title=f"Ledgered runs ({ledger_dir})",
+        ),
+        file=out,
+    )
+    print(
+        "\n`repro exp resume RUN-ID` completes a resumable run "
+        "(docs/LEDGER.md has the semantics)",
+        file=out,
+    )
     return 0
+
+
+def cmd_exp_resume(args, out) -> int:
+    from repro.exp import get_scenario, resume_run
+
+    try:
+        sweep = resume_run(
+            args.run_id,
+            ledger_dir=_exp_ledger_dir(args),
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+        )
+        spec = get_scenario(sweep.scenario)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return _print_sweep(sweep, spec, args, out)
 
 
 def cmd_faults_list(out) -> int:
@@ -1104,6 +1272,10 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
             return cmd_exp_list(out)
         if args.exp_command == "show":
             return cmd_exp_show(args, out)
+        if args.exp_command == "runs":
+            return cmd_exp_runs(args, out)
+        if args.exp_command == "resume":
+            return cmd_exp_resume(args, out)
         return cmd_exp_run(args, out)
     if args.command == "faults":
         if args.faults_command == "list":

@@ -1,14 +1,28 @@
-"""Scenario registry + parallel sweep engine.
+"""Scenario registry + parallel sweep engine + durable run ledger.
 
 Every paper figure and quantitative claim is a registered
 :class:`~repro.exp.scenario.ScenarioSpec`; :func:`run_scenario` expands
 one into its point grid, fans the points out over worker processes, and
-caches the per-point result dicts as canonical JSON.  See
-``docs/SCENARIOS.md`` for the spec schema and determinism rules.
+caches the per-point result dicts as canonical JSON.  Ledgered sweeps
+additionally journal progress to a crash-safe append-only ledger
+(:mod:`repro.exp.ledger`) so an interrupted run can be completed with
+:func:`resume_run` — byte-identical to an uninterrupted one.  See
+``docs/SCENARIOS.md`` for the spec schema and determinism rules and
+``docs/LEDGER.md`` for the ledger schema and resume semantics.
 """
 
 from repro.exp import registry  # noqa: F401  (populates the registry)
-from repro.exp.runner import SweepResult, run_scenario, sweep_table
+from repro.exp.ledger import (
+    DEFAULT_LEDGER_DIR,
+    LEDGER_SCHEMA,
+    LedgerState,
+    LedgerWarning,
+    LedgerWriter,
+    ledger_path,
+    list_runs,
+    replay_ledger,
+)
+from repro.exp.runner import SweepResult, resume_run, run_scenario, sweep_table
 from repro.exp.scenario import (
     Point,
     ScenarioSpec,
@@ -24,6 +38,11 @@ from repro.exp.scenario import (
 )
 
 __all__ = [
+    "DEFAULT_LEDGER_DIR",
+    "LEDGER_SCHEMA",
+    "LedgerState",
+    "LedgerWarning",
+    "LedgerWriter",
     "Point",
     "ScenarioSpec",
     "SweepResult",
@@ -31,10 +50,14 @@ __all__ = [
     "expand",
     "expanded_runspecs",
     "get_scenario",
+    "ledger_path",
+    "list_runs",
     "point_runspec",
     "point_seed",
     "register",
+    "replay_ledger",
     "replicate_seed",
+    "resume_run",
     "run_scenario",
     "sweep_table",
     "with_replications",

@@ -1,0 +1,453 @@
+"""Durable, crash-safe sweep run ledger (schema ``repro-ledger/1``).
+
+The process pool is not the source of truth for a sweep — this ledger
+is.  Every sweep that runs with a ledger directory appends one compact
+JSON record per event to ``<ledger_dir>/<run-id>.jsonl``, each record
+flushed *and* fsync'd before the runner acts on it, so a crash at any
+instant (SIGKILL included) leaves a readable prefix of the run's
+history.  ``repro exp resume <run-id>`` replays that prefix, identifies
+the unfinished points, and re-submits only those — producing a final
+sweep JSON byte-identical to an uninterrupted run.  This is the paper's
+own checkpoint/restore discipline applied to our orchestrator: finished
+work is a committed checkpoint, the crash loses only in-flight points.
+
+Record stream (one JSON object per line, ``event`` discriminates):
+
+``run_started``
+    The header: schema tag, run id, scenario name, spec ``key``,
+    ``replications``, ``n_points``, and per-point metadata (``index``,
+    ``seed``, ``params`` — plus the fully-expanded canonical ``runspec``
+    document for machine scenarios), so the ledger alone pins exactly
+    what each point means.
+``point_started`` / ``point_finished`` / ``point_failed``
+    Per-point progress.  ``point_finished`` carries the result payload
+    and the sha256 of its compact encoding; ``point_failed`` the
+    one-line error.  Duplicates are idempotent on replay (first valid
+    record wins); a later ``point_finished`` clears an earlier failure.
+``run_finished``
+    Terminal marker with the sha256 of the canonical sweep JSON.
+
+Crash-safety rules replay relies on:
+
+* records are append-only and fsync'd in order, so the file on disk is
+  always a prefix of the logical stream plus at most one *torn* final
+  line (a crash mid-write) — torn tails are skipped with a
+  :class:`LedgerWarning`, never an error;
+* corruption anywhere *before* the final line cannot be produced by a
+  crash and is refused as a :class:`~repro.errors.ReproError`;
+* a ledger whose recorded spec ``key`` no longer matches the registered
+  scenario is refused with a :class:`~repro.errors.SpecError` (exit 2
+  on the CLI) — resuming someone else's points would silently mix
+  incompatible results.
+
+Test hooks (both read from the environment at append time, both
+documented in ``docs/LEDGER.md``): ``REPRO_LEDGER_CRASH_AFTER=<n>``
+makes the writer append ``n`` records normally and then SIGKILL its own
+process halfway through writing record ``n+1`` — a real torn line, not
+a simulation; ``REPRO_LEDGER_SLOW_APPEND=<seconds>`` sleeps before each
+append so an external killer has a wide window to land mid-sweep.
+
+>>> ledger_path("/tmp/ledgers", "smoke-79ab12cd34ef")
+'/tmp/ledgers/smoke-79ab12cd34ef.jsonl'
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.util.jsonio import append_durable, compact_dumps, sha256_hex
+
+#: Ledger record schema tag (the ``run_started`` header carries it).
+LEDGER_SCHEMA = "repro-ledger/1"
+
+#: Default ledger directory (the CLI derives ``<cache-dir>/ledger``).
+DEFAULT_LEDGER_DIR = os.path.join("results", "ledger")
+
+#: Test hook: SIGKILL self mid-append after this many clean appends.
+CRASH_ENV = "REPRO_LEDGER_CRASH_AFTER"
+
+#: Test hook: sleep this many seconds before every append.
+SLOW_ENV = "REPRO_LEDGER_SLOW_APPEND"
+
+
+class LedgerWarning(UserWarning):
+    """A ledger was readable but imperfect (torn tail, duplicate,
+    digest mismatch, unusable file in a listing) — replay degrades the
+    affected record to "not finished" instead of crashing."""
+
+
+def ledger_path(ledger_dir: str, run_id: str) -> str:
+    """Ledger-file location for one run id."""
+    return os.path.join(ledger_dir, f"{run_id}.jsonl")
+
+
+def result_digest(result: Dict[str, Any]) -> str:
+    """Integrity hash of one point result (sha256 of compact JSON)."""
+    return sha256_hex(compact_dumps(result))
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+class LedgerWriter:
+    """Append-only, fsync-per-record writer for one run's ledger.
+
+    Use :meth:`start` for a fresh run (truncates any stale ledger for
+    the same run id and writes the ``run_started`` header) and
+    :meth:`reopen` to continue an interrupted run's file during resume.
+    The writer holds the file descriptor open across appends so every
+    record pays exactly one ``write + flush + fsync``.
+    """
+
+    def __init__(self, path: str, fh) -> None:
+        self.path = path
+        self._fh = fh
+        self._appends = 0
+
+    @classmethod
+    def start(cls, ledger_dir: str, spec) -> "LedgerWriter":
+        """Create a fresh ledger for ``spec`` and write its header.
+
+        A previous ledger for the same run id (e.g. from a crashed run
+        the user chose to re-run rather than resume) is truncated: the
+        new run owns the file.  Unwritable destinations surface as a
+        one-line :class:`~repro.errors.ReproError`, not a traceback.
+        """
+        from repro.exp.scenario import expand, expanded_runspecs
+
+        path = ledger_path(ledger_dir, spec.run_id())
+        try:
+            os.makedirs(ledger_dir or ".", exist_ok=True)
+            fh = open(path, "w", encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(f"cannot write sweep ledger {path}: {exc}") from None
+        writer = cls(path, fh)
+        docs = expanded_runspecs(spec) if spec.runner == "machine" else None
+        points = []
+        for point in expand(spec):
+            meta: Dict[str, Any] = {
+                "index": point.index,
+                "seed": point.seed,
+                "params": dict(point.params),
+            }
+            if spec.replications != 1:
+                meta["replicate"] = point.replicate
+            if docs is not None:
+                meta["runspec"] = docs[point.index]
+            points.append(meta)
+        writer.append(
+            {
+                "event": "run_started",
+                "schema": LEDGER_SCHEMA,
+                "run": spec.run_id(),
+                "scenario": spec.name,
+                "key": spec.key(),
+                "replications": spec.replications,
+                "n_points": len(points),
+                "points": points,
+            }
+        )
+        return writer
+
+    @classmethod
+    def reopen(cls, path: str) -> "LedgerWriter":
+        """Open an existing ledger for appending (the resume path).
+
+        A crash mid-append leaves a torn final line; appending after it
+        would bury the garbage mid-file and poison every later replay.
+        So, WAL-style, the torn tail is truncated back to the last
+        newline-terminated record before any new append.
+        """
+        try:
+            with open(path, "r+b") as repair:
+                data = repair.read()
+                if data and not data.endswith(b"\n"):
+                    repair.truncate(data.rfind(b"\n") + 1)
+            return cls(path, open(path, "a", encoding="utf-8"))
+        except OSError as exc:
+            raise ReproError(f"cannot append to sweep ledger {path}: {exc}") from None
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (one compact-JSON line).
+
+        The record is on stable storage when this returns — the runner
+        only acts on an event (marks a point done, writes the cache)
+        after its append returned, which is the ordering replay trusts.
+        """
+        slow = _env_float(SLOW_ENV)
+        if slow:  # pragma: no cover - test hook, exercised by subprocess tests
+            time.sleep(slow)
+        line = compact_dumps(record) + "\n"
+        crash_after = _env_int(CRASH_ENV)
+        if crash_after is not None and self._appends == crash_after:
+            # The crash hook: leave a genuinely torn record — half the
+            # bytes on disk, no newline — then die without cleanup.
+            append_durable(self._fh, line[: max(1, len(line) // 2)])
+            os.kill(os.getpid(), signal.SIGKILL)
+        append_durable(self._fh, line)
+        self._appends += 1
+
+    def point_started(self, index: int) -> None:
+        self.append({"event": "point_started", "index": index})
+
+    def point_finished(self, index: int, result: Dict[str, Any]) -> None:
+        self.append(
+            {
+                "event": "point_finished",
+                "index": index,
+                "sha256": result_digest(result),
+                "result": result,
+            }
+        )
+
+    def point_failed(self, index: int, error: str) -> None:
+        self.append({"event": "point_failed", "index": index, "error": error})
+
+    def run_finished(self, sweep_sha256: str) -> None:
+        self.append({"event": "run_finished", "sha256": sweep_sha256})
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - close after fsync cannot lose data
+            pass
+
+    def __enter__(self) -> "LedgerWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class LedgerState:
+    """The replayed state of one run's ledger.
+
+    ``finished`` maps point index to its recorded result payload (only
+    records whose sha256 verified); ``failed`` maps index to the last
+    recorded error for points that never subsequently finished.
+    ``unfinished`` is the resume work list — exactly the indices a
+    byte-identical completion still has to run.
+    """
+
+    path: str
+    run_id: str
+    scenario: str
+    key: str
+    replications: int
+    n_points: int
+    points: List[Dict[str, Any]] = field(default_factory=list)
+    finished: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    failed: Dict[int, str] = field(default_factory=dict)
+    started: frozenset = frozenset()
+    run_finished: bool = False
+    sweep_sha256: Optional[str] = None
+    torn_lines: int = 0
+
+    def unfinished(self) -> List[int]:
+        """Indices a resume must still run, in point order."""
+        return [i for i in range(self.n_points) if i not in self.finished]
+
+    def progress(self) -> float:
+        """Finished fraction of the grid (0.0 - 1.0)."""
+        if self.n_points <= 0:
+            return 0.0
+        return len(self.finished) / self.n_points
+
+    @property
+    def complete(self) -> bool:
+        """True when every point finished (resume would re-run nothing)."""
+        return not self.unfinished()
+
+    @property
+    def status(self) -> str:
+        return "complete" if self.complete else "resumable"
+
+    def summary_doc(self) -> Dict[str, Any]:
+        """The per-run entry ``repro exp runs --json`` emits."""
+        return {
+            "run": self.run_id,
+            "scenario": self.scenario,
+            "key": self.key,
+            "replications": self.replications,
+            "n_points": self.n_points,
+            "finished": len(self.finished),
+            "failed": sorted(self.failed),
+            "progress": round(self.progress(), 4),
+            "status": self.status,
+        }
+
+
+def _parse_lines(path: str) -> tuple:
+    """Raw ledger lines -> (records, torn count).
+
+    Only the *final* line may be unparseable — that is the one write a
+    crash can tear.  Earlier garbage cannot result from fsync-ordered
+    appends and is refused loudly rather than silently dropped.
+    """
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            lines = fh.read().split("\n")
+    except OSError as exc:
+        raise ReproError(f"cannot read sweep ledger {path}: {exc}") from None
+    if lines and lines[-1] == "":
+        lines.pop()  # the newline-terminated case: no torn tail
+    records: List[Dict[str, Any]] = []
+    torn = 0
+    for lineno, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict) or "event" not in record:
+                raise ValueError("not a ledger record object")
+        except ValueError:
+            if lineno == len(lines) - 1:
+                warnings.warn(
+                    f"sweep ledger {path}: skipping torn final line "
+                    f"(crash mid-append)",
+                    LedgerWarning,
+                    stacklevel=3,
+                )
+                torn += 1
+                continue
+            raise ReproError(
+                f"sweep ledger {path} is corrupt at line {lineno + 1}: "
+                "only the final line may be torn"
+            ) from None
+        records.append(record)
+    return records, torn
+
+
+def replay_ledger(path: str) -> LedgerState:
+    """Replay one ledger file into a :class:`LedgerState`.
+
+    Tolerates a torn final line (skipped with a :class:`LedgerWarning`);
+    refuses ledgers with no usable ``run_started`` header, a foreign
+    schema tag, or mid-file corruption (:class:`~repro.errors.ReproError`).
+    Duplicate ``point_finished`` records are idempotent — the first
+    digest-verified record wins; a record whose payload does not match
+    its recorded sha256 is degraded to "not finished" with a warning.
+    """
+    records, torn = _parse_lines(path)
+    if not records or records[0].get("event") != "run_started":
+        raise ReproError(
+            f"sweep ledger {path} has no usable run_started header"
+        )
+    header = records[0]
+    if header.get("schema") != LEDGER_SCHEMA:
+        raise ReproError(
+            f"sweep ledger {path} has schema {header.get('schema')!r}; "
+            f"expected {LEDGER_SCHEMA!r}"
+        )
+    finished: Dict[int, Dict[str, Any]] = {}
+    failed: Dict[int, str] = {}
+    started = set()
+    run_done = False
+    sweep_sha: Optional[str] = None
+    for record in records[1:]:
+        event = record["event"]
+        if event == "point_started":
+            started.add(int(record["index"]))
+        elif event == "point_finished":
+            index = int(record["index"])
+            result = record.get("result")
+            if not isinstance(result, dict) or result_digest(result) != record.get(
+                "sha256"
+            ):
+                warnings.warn(
+                    f"sweep ledger {path}: point {index} finished-record "
+                    "fails its sha256 check; treating the point as "
+                    "unfinished",
+                    LedgerWarning,
+                    stacklevel=2,
+                )
+                continue
+            if index in finished:
+                continue  # duplicate append (e.g. crash between fsync and ack)
+            finished[index] = result
+            failed.pop(index, None)
+        elif event == "point_failed":
+            index = int(record["index"])
+            if index not in finished:
+                failed[index] = str(record.get("error", ""))
+        elif event == "run_finished":
+            run_done = True
+            sweep_sha = record.get("sha256")
+        elif event != "run_started":  # unknown event: forward compatibility
+            warnings.warn(
+                f"sweep ledger {path}: skipping unknown event {event!r}",
+                LedgerWarning,
+                stacklevel=2,
+            )
+    return LedgerState(
+        path=path,
+        run_id=str(header.get("run", "")),
+        scenario=str(header["scenario"]),
+        key=str(header["key"]),
+        replications=int(header.get("replications", 1)),
+        n_points=int(header["n_points"]),
+        points=list(header.get("points", [])),
+        finished=finished,
+        failed=failed,
+        started=frozenset(started),
+        run_finished=run_done,
+        sweep_sha256=sweep_sha,
+        torn_lines=torn,
+    )
+
+
+def list_runs(ledger_dir: str = DEFAULT_LEDGER_DIR) -> List[LedgerState]:
+    """Replay every ledger under ``ledger_dir``, sorted by run id.
+
+    Unusable files (headerless — e.g. a crash tore the very first
+    record — or corrupt) are skipped with a :class:`LedgerWarning`
+    rather than failing the whole listing; ``repro exp resume`` on such
+    a run reports the precise error.
+    """
+    try:
+        names = sorted(
+            name for name in os.listdir(ledger_dir) if name.endswith(".jsonl")
+        )
+    except OSError:
+        return []
+    states: List[LedgerState] = []
+    for name in names:
+        path = os.path.join(ledger_dir, name)
+        try:
+            states.append(replay_ledger(path))
+        except ReproError as exc:
+            warnings.warn(
+                f"skipping unusable sweep ledger: {exc}",
+                LedgerWarning,
+                stacklevel=2,
+            )
+    return states
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import doctest
+
+    doctest.testmod()

@@ -13,6 +13,13 @@ stable hash of the spec's identity (name, runner, base, axes, version).
 Any change to the spec changes the key, so stale results are never
 served; a corrupt or unreadable cache file is treated as a miss.
 
+Durability: with ``ledger_dir`` set, progress is journaled to a
+crash-safe append-only ledger (:mod:`repro.exp.ledger`) as the sweep
+runs, and :func:`resume_run` completes an interrupted run from that
+ledger — re-running only the unfinished points — with byte-identical
+final JSON.  Without a ledger the runner's behavior (and every byte it
+produces) is unchanged.
+
 >>> result_path("/tmp/results", "demo", "abc123")
 '/tmp/results/demo/abc123.json'
 """
@@ -21,10 +28,17 @@ from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro.errors import ReproError, SpecError
+from repro.exp.ledger import (
+    DEFAULT_LEDGER_DIR,
+    LedgerWriter,
+    ledger_path,
+    replay_ledger,
+)
 from repro.exp.points import RUNNERS
 from repro.exp.scenario import (
     Point,
@@ -33,7 +47,7 @@ from repro.exp.scenario import (
     get_scenario,
     with_replications,
 )
-from repro.util.jsonio import canonical_dumps, write_atomic
+from repro.util.jsonio import canonical_dumps, sha256_hex, write_atomic
 
 
 def result_path(cache_dir: str, scenario: str, key: str) -> str:
@@ -63,7 +77,12 @@ def _run_point_by_index(
 
 @dataclass
 class SweepResult:
-    """Outcome of one scenario sweep."""
+    """Outcome of one scenario sweep.
+
+    ``run_id``/``ledger_path`` are set only for ledgered runs; they
+    never enter :meth:`payload`, so ledgered and ledgerless sweeps stay
+    byte-identical.
+    """
 
     scenario: str
     key: str
@@ -71,6 +90,9 @@ class SweepResult:
     cache_hit: bool = False
     cache_path: Optional[str] = None
     replications: int = 1
+    run_id: Optional[str] = None
+    ledger_path: Optional[str] = None
+    resumed_points: Optional[int] = None
 
     def payload(self) -> Dict[str, Any]:
         """The JSON document that is cached and printed by ``--json``.
@@ -149,11 +171,121 @@ def _load_cached(path: str) -> Optional[Dict[str, Any]]:
         return None
 
 
+def _execute_points(
+    spec: ScenarioSpec,
+    points: List[Point],
+    indices: Iterable[int],
+    workers: int,
+    writer: Optional[LedgerWriter],
+) -> Dict[int, Dict[str, Any]]:
+    """Run the given point indices; journal progress when ledgered.
+
+    Without a ledger the first exception propagates immediately (the
+    historical behavior).  With one, a failing point is recorded as
+    ``point_failed`` and the *other* points still run to completion —
+    maximizing what a later ``repro exp resume`` can skip — before one
+    :class:`~repro.errors.ReproError` summarizes the failures.
+    """
+    todo = list(indices)
+    results: Dict[int, Dict[str, Any]] = {}
+    failures: Dict[int, str] = {}
+
+    def finish(index: int, result: Dict[str, Any]) -> None:
+        results[index] = result
+        if writer is not None:
+            writer.point_finished(index, result)
+
+    def fail(index: int, exc: Exception) -> None:
+        if writer is None:
+            raise exc
+        failures[index] = f"{type(exc).__name__}: {exc}"
+        writer.point_failed(index, failures[index])
+
+    if workers > 1 and len(todo) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
+            futures = {}
+            for index in todo:
+                if writer is not None:
+                    writer.point_started(index)
+                futures[
+                    pool.submit(
+                        _run_point_by_index, spec.name, index, spec.replications
+                    )
+                ] = index
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    finish(index, future.result())
+                except Exception as exc:  # noqa: BLE001 - journaled, re-raised below
+                    fail(index, exc)
+    else:
+        by_index = {point.index: point for point in points}
+        for index in todo:
+            if writer is not None:
+                writer.point_started(index)
+            try:
+                finish(index, run_point(spec, by_index[index]))
+            except Exception as exc:  # noqa: BLE001 - journaled, re-raised below
+                fail(index, exc)
+
+    if failures:
+        first = min(failures)
+        raise ReproError(
+            f"{len(failures)} point(s) failed {sorted(failures)} "
+            f"(point {first}: {failures[first]}); the ledger marks them "
+            f"failed — retry with `repro exp resume {spec.run_id()}`"
+        )
+    return results
+
+
+def _write_cache(path: str, sweep: SweepResult) -> None:
+    """Write the sweep cache atomically; unwritable destinations get a
+    one-line :class:`~repro.errors.ReproError` instead of a traceback."""
+    try:
+        write_atomic(path, sweep.to_json())
+    except OSError as exc:
+        raise ReproError(f"cannot write sweep cache {path}: {exc}") from None
+
+
+def _assemble(
+    spec: ScenarioSpec,
+    points: List[Point],
+    results: Dict[int, Dict[str, Any]],
+    cache_path: Optional[str],
+    writer: Optional[LedgerWriter] = None,
+    resumed_points: Optional[int] = None,
+) -> SweepResult:
+    """Order results by point index into the canonical sweep document.
+
+    The ``run_finished`` ledger record (carrying the sha256 of the
+    canonical JSON) is appended *before* the cache write: a crash in
+    between leaves a complete ledger, and resume rebuilds the
+    byte-identical cache file from it.
+    """
+    sweep = SweepResult(
+        scenario=spec.name,
+        key=spec.key(),
+        points=[_point_entry(spec, point, results[point.index]) for point in points],
+        cache_hit=False,
+        cache_path=cache_path,
+        replications=spec.replications,
+        run_id=spec.run_id() if writer is not None else None,
+        ledger_path=writer.path if writer is not None else None,
+        resumed_points=resumed_points,
+    )
+    if writer is not None:
+        writer.run_finished(sha256_hex(sweep.to_json()))
+    if cache_path:
+        _write_cache(cache_path, sweep)
+    return sweep
+
+
 def run_scenario(
     scenario: Union[str, ScenarioSpec],
     workers: int = 1,
     cache_dir: Optional[str] = None,
     force: bool = False,
+    ledger_dir: Optional[str] = None,
 ) -> SweepResult:
     """Run every point of a scenario; serve or populate the cache.
 
@@ -161,7 +293,10 @@ def run_scenario(
     reassembled by point index, so the output is identical to a
     ``workers=1`` run.  With ``cache_dir`` set, a prior run of the same
     spec is returned straight from disk (unless ``force``) and fresh
-    runs are written back atomically.
+    runs are written back atomically.  With ``ledger_dir`` set, fresh
+    runs journal their progress to ``<ledger_dir>/<run-id>.jsonl`` so an
+    interrupted sweep can be completed with :func:`resume_run`; cache
+    hits touch no ledger.
     """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     key = spec.key()
@@ -180,33 +315,70 @@ def run_scenario(
             )
 
     points = expand(spec)
-    if workers > 1 and len(points) > 1:
-        with ProcessPoolExecutor(max_workers=min(workers, len(points))) as pool:
-            results = list(
-                pool.map(
-                    _run_point_by_index,
-                    [spec.name] * len(points),
-                    range(len(points)),
-                    [spec.replications] * len(points),
-                )
-            )
-    else:
-        results = [run_point(spec, point) for point in points]
+    writer = LedgerWriter.start(ledger_dir, spec) if ledger_dir else None
+    try:
+        results = _execute_points(spec, points, range(len(points)), workers, writer)
+        return _assemble(spec, points, results, path, writer)
+    finally:
+        if writer is not None:
+            writer.close()
 
-    sweep = SweepResult(
-        scenario=spec.name,
-        key=key,
-        points=[
-            _point_entry(spec, point, result)
-            for point, result in zip(points, results)
-        ],
-        cache_hit=False,
-        cache_path=path,
-        replications=spec.replications,
-    )
-    if path:
-        write_atomic(path, sweep.to_json())
-    return sweep
+
+def resume_run(
+    run_id: str,
+    ledger_dir: str = DEFAULT_LEDGER_DIR,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+) -> SweepResult:
+    """Complete an interrupted sweep from its ledger.
+
+    Replays ``<ledger_dir>/<run_id>.jsonl``, re-submits only the points
+    without a digest-verified ``point_finished`` record (failed points
+    are retried), appends the remaining progress to the same ledger,
+    and writes the completed sweep to the cache.  The result is
+    byte-identical to an uninterrupted run of the same spec — the
+    crash-injection harness pins that end to end.
+
+    Refused with :class:`~repro.errors.SpecError` (CLI exit 2) when the
+    run id is unknown or the registered scenario's identity no longer
+    matches what the ledger recorded.
+    """
+    path = ledger_path(ledger_dir, run_id)
+    if not os.path.exists(path):
+        from repro.exp.ledger import list_runs
+
+        known = [state.run_id for state in list_runs(ledger_dir)]
+        raise SpecError(
+            f"no ledger for run {run_id!r} under {ledger_dir} "
+            f"(known runs: {known or 'none'}; see `repro exp runs`)",
+            field="run_id", value=run_id,
+        )
+    state = replay_ledger(path)
+    try:
+        spec = with_replications(get_scenario(state.scenario), state.replications)
+    except KeyError:
+        raise SpecError(
+            f"ledger {path} names scenario {state.scenario!r}, which is "
+            "no longer registered",
+            field="scenario", value=state.scenario,
+        ) from None
+    if spec.key() != state.key:
+        raise SpecError(
+            f"ledger {path} was recorded against spec identity "
+            f"{state.key} but scenario {state.scenario!r} now has identity "
+            f"{spec.key()}; the recorded RunSpecs no longer describe this "
+            "scenario — re-run instead of resuming",
+            field="key", value=state.key,
+        )
+    points = expand(spec)
+    todo = state.unfinished()
+    cache_path = result_path(cache_dir, spec.name, spec.key()) if cache_dir else None
+    results = dict(state.finished)
+    with LedgerWriter.reopen(path) as writer:
+        results.update(_execute_points(spec, points, todo, workers, writer))
+        return _assemble(
+            spec, points, results, cache_path, writer, resumed_points=len(todo)
+        )
 
 
 def sweep_table(sweep: SweepResult, spec: Optional[ScenarioSpec] = None) -> str:

@@ -145,6 +145,19 @@ class ScenarioSpec:
             object.__setattr__(self, "_key_cache", cached)
         return cached
 
+    def run_id(self) -> str:
+        """Deterministic sweep-ledger run identifier.
+
+        Derived from the scenario name plus a prefix of :meth:`key`, so
+        it is a pure function of the spec's identity (name, runner and
+        runner version, base, axes, replications, and — for machine
+        scenarios — the expanded canonical RunSpecs).  Two processes
+        sweeping the same spec agree on the run id without coordination,
+        and any change to what the sweep *means* yields a fresh id, so a
+        stale ledger can never be resumed against a changed spec.
+        """
+        return f"{self.name}-{self.key()[:12]}"
+
     def n_cells(self) -> int:
         """Number of grid cells (axis combinations, ignoring replication)."""
         total = 1

@@ -1,8 +1,9 @@
 """Canonical JSON rendering and atomic file writes.
 
 One writer serves every artifact the repo commits or caches —
-``repro exp run --json`` payloads, the on-disk sweep result cache, and
-``repro perf`` benchmark reports (``BENCH_core.json``).  Keeping the
+``repro exp run --json`` payloads, the on-disk sweep result cache,
+``repro perf`` benchmark reports (``BENCH_core.json``), and the
+durable sweep-ledger appends (:mod:`repro.exp.ledger`).  Keeping the
 encoding in one place is what makes "byte-identical for identical
 results" a checkable property rather than a convention.
 
@@ -12,6 +13,7 @@ results" a checkable property rather than a convention.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -40,6 +42,34 @@ def compact_dumps(payload: Any) -> str:
     '{"a":[1.5,"x"],"b":1}'
     """
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def sha256_hex(text: str) -> str:
+    """Full sha256 hex digest of ``text`` (UTF-8).
+
+    The integrity hash used by the sweep ledger: ``point_finished``
+    records carry the digest of their result's :func:`compact_dumps`
+    encoding, ``run_finished`` the digest of the canonical sweep JSON.
+
+    >>> sha256_hex("")[:8]
+    'e3b0c442'
+    """
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def append_durable(fh, text: str) -> None:
+    """Append ``text`` to an open file and force it to stable storage.
+
+    ``flush`` pushes the bytes out of the userspace buffer, ``fsync``
+    out of the page cache — after this returns, a crash (even SIGKILL
+    or power loss) cannot lose the record.  This is the write primitive
+    behind every sweep-ledger append; callers own the ordering
+    guarantee that a record is only *acted on* (e.g. a point marked
+    finished) after its append returned.
+    """
+    fh.write(text)
+    fh.flush()
+    os.fsync(fh.fileno())
 
 
 def write_atomic(path: str, text: str) -> None:

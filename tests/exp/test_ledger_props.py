@@ -1,0 +1,150 @@
+"""Property-based ledger round-trips, over every registered scenario.
+
+The resume contract is a pure function of the ledger bytes: whatever
+subset of points a (possibly crashed, possibly duplicated) ledger
+records as finished, replay must identify the resume work-list as
+exactly the complement — for *every* registered scenario, not just
+smoke.  Results here are synthetic (no scenario is actually run); the
+real-execution byte-identity coverage lives in ``test_ledger_crash.py``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.exp import (
+    LedgerWarning,
+    LedgerWriter,
+    all_scenarios,
+    expand,
+    get_scenario,
+    ledger_path,
+    replay_ledger,
+)
+
+SCENARIOS = sorted(all_scenarios())
+
+
+def fake_result(index: int) -> dict:
+    return {"ok": True, "value": float(index), "tag": f"point-{index}"}
+
+
+def write_partial_ledger(ledger_dir: str, spec, finished) -> str:
+    with LedgerWriter.start(ledger_dir, spec) as writer:
+        for index in finished:
+            writer.point_started(index)
+            writer.point_finished(index, fake_result(index))
+    return ledger_path(ledger_dir, spec.run_id())
+
+
+class TestEveryScenarioRoundTrips:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_header_covers_the_full_grid(self, tmp_path, name):
+        spec = get_scenario(name)
+        path = write_partial_ledger(str(tmp_path), spec, finished=())
+        state = replay_ledger(path)
+        n = len(expand(spec))
+        assert state.n_points == n
+        assert [p["index"] for p in state.points] == list(range(n))
+        assert state.key == spec.key()
+        assert state.unfinished() == list(range(n))
+
+    @given(data=st.data())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_resume_worklist_is_exact_complement(self, tmp_path, data):
+        name = data.draw(st.sampled_from(SCENARIOS))
+        spec = get_scenario(name)
+        n = len(expand(spec))
+        finished = data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+        )
+        ledger_dir = str(
+            tmp_path / f"{name}-{len(finished)}-{sum(finished) % 9973}"
+        )
+        path = write_partial_ledger(ledger_dir, spec, sorted(finished))
+        state = replay_ledger(path)
+        assert set(state.finished) == finished
+        assert state.unfinished() == sorted(set(range(n)) - finished)
+        assert state.complete == (finished == set(range(n)))
+
+
+class TestTruncationProperty:
+    """Any byte-prefix of a valid ledger is a crash the design covers:
+    replay either succeeds (finished set shrinks, never grows, never
+    corrupts) or refuses cleanly because the header itself was lost."""
+
+    @given(data=st.data())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_any_prefix_replays_or_refuses_cleanly(self, tmp_path, data):
+        spec = get_scenario("smoke")
+        ledger_dir = str(tmp_path / data.draw(st.uuids()).hex)
+        path = write_partial_ledger(ledger_dir, spec, finished=range(4))
+        with open(path, "rb") as fh:
+            full_bytes = fh.read()
+        full = replay_ledger(path)
+
+        cut = data.draw(st.integers(min_value=0, max_value=len(full_bytes)))
+        with open(path, "wb") as fh:
+            fh.write(full_bytes[:cut])
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", LedgerWarning)
+                state = replay_ledger(path)
+        except ReproError as exc:
+            # only acceptable refusal: the prefix lost the header itself
+            assert "run_started" in str(exc)
+            return
+        assert set(state.finished).issubset(set(full.finished))
+        for index, result in state.finished.items():
+            assert result == full.finished[index]
+        assert state.key == full.key and state.n_points == full.n_points
+
+    def test_newline_terminated_truncation_warns_nothing(self, tmp_path):
+        spec = get_scenario("smoke")
+        path = write_partial_ledger(str(tmp_path), spec, finished=range(2))
+        with open(path, "rb") as fh:
+            lines = fh.read().splitlines(keepends=True)
+        with open(path, "wb") as fh:
+            fh.writelines(lines[:-1])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", LedgerWarning)
+            state = replay_ledger(path)
+        assert state.torn_lines == 0
+
+
+class TestDuplicateRecords:
+    @given(
+        dupes=st.lists(st.integers(min_value=0, max_value=3), max_size=12),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_replaying_duplicates_is_idempotent(self, tmp_path, dupes):
+        spec = get_scenario("smoke")
+        ledger_dir = str(tmp_path / ("d" + "".join(map(str, dupes))))
+        with LedgerWriter.start(ledger_dir, spec) as writer:
+            for index in range(4):
+                writer.point_finished(index, fake_result(index))
+            for index in dupes:
+                # e.g. a crash between fsync and the runner's ack, then
+                # a resume that re-ran the point: the record repeats
+                writer.point_finished(index, fake_result(index))
+        state = replay_ledger(ledger_path(ledger_dir, spec.run_id()))
+        assert set(state.finished) == {0, 1, 2, 3}
+        assert state.finished == {i: fake_result(i) for i in range(4)}
+        assert state.unfinished() == []

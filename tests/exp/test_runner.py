@@ -63,6 +63,16 @@ class TestCache:
         assert sweep.cache_path is None
         assert os.listdir(tmp_path) == []
 
+    def test_unwritable_cache_dir_one_line_repro_error(self, tmp_path):
+        # a regular file where the cache tree must go (chmod is useless
+        # for this under root, a blocking file is not)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="cannot write sweep cache"):
+            run_scenario("smoke", cache_dir=str(blocker))
+
     def test_payload_is_valid_canonical_json(self, tmp_path):
         sweep = run_scenario("smoke", cache_dir=str(tmp_path))
         with open(sweep.cache_path, "r", encoding="utf-8") as fh:

@@ -429,3 +429,105 @@ class TestExp:
         assert text1 == text2
         payload = json.loads(text1)
         assert payload["scenario"] == "smoke" and len(payload["points"]) == 4
+
+
+class TestExpLedger:
+    """CLI surface of the durable run ledger (docs/LEDGER.md)."""
+
+    def test_exp_run_ledgers_by_default_with_cache(self, tmp_path):
+        import os
+
+        cache = str(tmp_path / "results")
+        code, text = run_cli("exp", "run", "smoke", "--cache-dir", cache)
+        assert code == 0
+        assert "ledger:" in text
+        from repro.exp import get_scenario
+
+        run_id = get_scenario("smoke").run_id()
+        assert run_id in text
+        assert os.path.exists(
+            os.path.join(cache, "ledger", f"{run_id}.jsonl")
+        )
+
+    def test_no_ledger_and_no_cache_disable_the_ledger(self, tmp_path):
+        cache = str(tmp_path / "results")
+        code, text = run_cli(
+            "exp", "run", "smoke", "--cache-dir", cache, "--no-ledger"
+        )
+        assert code == 0 and "ledger:" not in text
+        assert not (tmp_path / "results" / "ledger").exists()
+        code, text = run_cli("exp", "run", "smoke", "--no-cache")
+        assert code == 0 and "ledger:" not in text
+
+    def test_cache_hit_prints_no_ledger_line(self, tmp_path):
+        import shutil
+
+        cache = str(tmp_path / "results")
+        run_cli("exp", "run", "smoke", "--cache-dir", cache)
+        shutil.rmtree(tmp_path / "results" / "ledger")
+        code, text = run_cli("exp", "run", "smoke", "--cache-dir", cache)
+        assert code == 0 and "cache: hit" in text
+        assert "ledger:" not in text
+        assert not (tmp_path / "results" / "ledger").exists()
+
+    def test_exp_runs_empty_dir(self, tmp_path):
+        code, text = run_cli(
+            "exp", "runs", "--cache-dir", str(tmp_path / "results")
+        )
+        assert code == 0
+        assert "no ledgered runs" in text
+
+    def test_exp_runs_lists_progress_and_json(self, tmp_path):
+        import json
+
+        cache = str(tmp_path / "results")
+        run_cli("exp", "run", "smoke", "--cache-dir", cache)
+        code, text = run_cli("exp", "runs", "--cache-dir", cache)
+        assert code == 0
+        assert "smoke" in text and "4/4" in text and "100%" in text
+        code, text = run_cli("exp", "runs", "--cache-dir", cache, "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["schema"] == "repro-ledger/1"
+        (entry,) = payload["runs"]
+        assert entry["scenario"] == "smoke"
+        assert entry["progress"] == 1.0 and entry["status"] == "complete"
+
+    def test_exp_resume_unknown_run_exits_2(self, tmp_path, capsys):
+        code, _ = run_cli(
+            "exp", "resume", "nope-123456789abc",
+            "--cache-dir", str(tmp_path / "results"),
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no ledger for run" in err and "Traceback" not in err
+
+    def test_exp_resume_completes_and_matches_direct_run(self, tmp_path):
+        from repro.exp import LedgerWriter, get_scenario, run_scenario
+
+        spec = get_scenario("smoke")
+        cache = str(tmp_path / "results")
+        full = run_scenario("smoke")
+        ledger_dir = tmp_path / "results" / "ledger"
+        with LedgerWriter.start(str(ledger_dir), spec) as writer:
+            writer.point_started(0)
+            writer.point_finished(0, full.points[0]["result"])
+        code, text = run_cli("exp", "resume", spec.run_id(), "--cache-dir", cache)
+        assert code == 0
+        assert "resumed 3 point(s)" in text
+        code, direct = run_cli(
+            "exp", "run", "smoke", "--cache-dir", str(tmp_path / "ref"), "--json"
+        )
+        assert code == 0
+        code, resumed = run_cli(
+            "exp", "run", "smoke", "--cache-dir", cache, "--json"
+        )
+        assert code == 0 and resumed == direct
+
+    def test_exp_run_unwritable_cache_exits_1_one_line(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache tree must go")
+        code, _ = run_cli("exp", "run", "smoke", "--cache-dir", str(blocker))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err

@@ -30,11 +30,14 @@ DOC_FILES = [
     "docs/SCENARIOS.md",
     "docs/PERFORMANCE.md",
     "docs/FAULTS.md",
+    "docs/LEDGER.md",
     "docs/REPORTS.md",
     "docs/CHECK.md",
 ]
 
 EXP_REF = re.compile(r"exp (?:run|show) ([a-z0-9][a-z0-9-]*)")
+#: `repro exp` verbs referenced in docs (the verb group is API).
+EXP_CLI_REF = re.compile(r"exp (list|show|run|runs|resume)\b")
 #: `repro report` verbs referenced in docs (the verb group is API).
 REPORT_CLI_REF = re.compile(r"report (list|run|compare)")
 #: Scenario names fed to the report verbs must resolve too.
@@ -97,6 +100,36 @@ REPORT_EXPORTS = {
     "split_compare",
 }
 
+
+#: The public surface of repro.exp, pinned like repro.api: the CLI,
+#: docs/SCENARIOS.md, docs/LEDGER.md, and the run ledgers reference
+#: these names, so removals/renames are breaking changes and must be
+#: made deliberately (here and in those docs).
+EXP_EXPORTS = {
+    "DEFAULT_LEDGER_DIR",
+    "LEDGER_SCHEMA",
+    "LedgerState",
+    "LedgerWarning",
+    "LedgerWriter",
+    "Point",
+    "ScenarioSpec",
+    "SweepResult",
+    "all_scenarios",
+    "expand",
+    "expanded_runspecs",
+    "get_scenario",
+    "ledger_path",
+    "list_runs",
+    "point_runspec",
+    "point_seed",
+    "register",
+    "replay_ledger",
+    "replicate_seed",
+    "resume_run",
+    "run_scenario",
+    "sweep_table",
+    "with_replications",
+}
 
 #: The public surface of repro.check, pinned like repro.api: the CLI,
 #: docs/CHECK.md, and the search ledgers reference these names, so
@@ -365,6 +398,71 @@ class TestCheckReferences:
         faults_doc = read_docs()["docs/FAULTS.md"]
         assert "CHECK.md" in faults_doc
         assert "repro check" in faults_doc
+
+
+class TestLedgerReferences:
+    def test_exp_exports_are_pinned(self):
+        import repro.exp
+
+        assert set(repro.exp.__all__) == EXP_EXPORTS, (
+            "repro.exp exports changed; update EXP_EXPORTS, docs/LEDGER.md, "
+            "and docs/SCENARIOS.md deliberately"
+        )
+        for name in EXP_EXPORTS:
+            assert hasattr(repro.exp, name), name
+
+    def test_docs_name_the_exp_cli_verbs(self):
+        readme = read_docs()["README.md"]
+        ledger_doc = read_docs()["docs/LEDGER.md"]
+        for text in (readme, ledger_doc):
+            verbs = set(EXP_CLI_REF.findall(text))
+            assert {"run", "runs", "resume"} <= verbs, (
+                "README and LEDGER.md must document `exp run`, `exp runs`, "
+                "and `exp resume`"
+            )
+        assert {"list", "show"} <= set(EXP_CLI_REF.findall(readme))
+
+    def test_exp_cli_verbs_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["exp", "runs"])
+        assert args.command == "exp" and args.exp_command == "runs"
+        args = parser.parse_args(["exp", "resume", "smoke-b6154af7b70c"])
+        assert args.exp_command == "resume"
+        assert args.run_id == "smoke-b6154af7b70c"
+        args = parser.parse_args(["exp", "run", "smoke", "--no-ledger"])
+        assert args.no_ledger
+
+    def test_ledger_md_documents_the_schema(self):
+        ledger_doc = read_docs()["docs/LEDGER.md"]
+        from repro.exp import LEDGER_SCHEMA
+
+        assert LEDGER_SCHEMA in ledger_doc
+        assert "results/ledger" in ledger_doc
+        for event in (
+            "run_started",
+            "point_started",
+            "point_finished",
+            "point_failed",
+            "run_finished",
+        ):
+            assert f"`{event}`" in ledger_doc, (
+                f"ledger event {event!r} missing from docs/LEDGER.md"
+            )
+        assert "fsync" in ledger_doc
+        assert "byte-identical" in ledger_doc
+
+    def test_ledger_md_documents_the_test_hooks(self):
+        ledger_doc = read_docs()["docs/LEDGER.md"]
+        from repro.exp.ledger import CRASH_ENV, SLOW_ENV
+
+        assert CRASH_ENV in ledger_doc and SLOW_ENV in ledger_doc
+
+    def test_scenarios_md_points_at_the_ledger(self):
+        scenarios_doc = read_docs()["docs/SCENARIOS.md"]
+        assert "LEDGER.md" in scenarios_doc
+        assert "results/ledger" in scenarios_doc or "ledger/" in scenarios_doc
 
 
 class TestReadmeDocsIndex:
