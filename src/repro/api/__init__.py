@@ -45,6 +45,7 @@ from repro.api.session import (
 )
 from repro.api.specs import (
     RUNSPEC_SCHEMA,
+    ArrivalSpec,
     FaultSpec,
     MachineSpec,
     NemesisClause,
@@ -57,6 +58,7 @@ from repro.errors import SpecError
 
 __all__ = [
     "RUNSPEC_SCHEMA",
+    "ArrivalSpec",
     "Experiment",
     "FaultSpec",
     "MachineSpec",

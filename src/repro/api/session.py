@@ -29,6 +29,7 @@ from functools import lru_cache, partial
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.api.specs import (
+    ArrivalSpec,
     FaultSpec,
     MachineSpec,
     NemesisSpec,
@@ -192,9 +193,11 @@ def execute(
 
     faults = spec.faults.schedule(base[0] if base else None)
     nemesis = spec.nemesis.build(base[0]) if spec.nemesis else None
+    load = spec.arrivals.build() if spec.arrivals else None
     result = run_simulation(
         wfactory(), config, policy=spec.policy.build(),
         faults=faults, collect_trace=collect_trace, verify=verify, nemesis=nemesis,
+        load=load,
     )
 
     util_mean, util_spread = _util_stats(result)
@@ -223,6 +226,9 @@ def execute(
     }
     if spec.nemesis:
         out["nemesis"] = spec.nemesis.to_spec_str()
+    if spec.arrivals:
+        out["arrivals"] = spec.arrivals.to_spec_str()
+        out["load"] = result.load.to_json()
     if tree_size is not None:
         out["tree_size"] = tree_size
     if base is not None:
@@ -333,6 +339,7 @@ class Experiment:
         self._faults: Tuple[Tuple[float, int], ...] = ()
         self._fault_mode = "frac"
         self._nemesis = NemesisSpec()
+        self._arrivals = ArrivalSpec()
         self._base_policy: Optional[PolicySpec] = None
         self._speedup_base: Optional[int] = None
 
@@ -373,6 +380,12 @@ class Experiment:
     def nemesis(self, spec: Union[str, NemesisSpec]) -> "Experiment":
         """Set the nemesis composition (spec string or NemesisSpec)."""
         self._nemesis = spec if isinstance(spec, NemesisSpec) else NemesisSpec.parse(spec)
+        return self
+
+    @_chainable
+    def arrivals(self, spec: Union[str, ArrivalSpec]) -> "Experiment":
+        """Set the open-loop arrival process (spec string or ArrivalSpec)."""
+        self._arrivals = spec if isinstance(spec, ArrivalSpec) else ArrivalSpec.parse(spec)
         return self
 
     @_chainable
@@ -446,6 +459,7 @@ class Experiment:
             nemesis=self._nemesis,
             base_policy=self._base_policy,
             speedup_base_processors=self._speedup_base,
+            arrivals=self._arrivals,
         ).validate()
 
     @_chainable

@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.config import SCHEDULERS, TOPOLOGIES, CostModel, SimConfig
 from repro.errors import SpecError
+from repro.load.spec import ArrivalSpec
 
 #: Schema tag carried by every RunSpec JSON document.
 RUNSPEC_SCHEMA = "repro-runspec/1"
@@ -778,7 +779,7 @@ _RUN_PARAM_KEYS = frozenset(
     {
         "workload", "policy", "seed", "processors", "topology", "scheduler",
         "replication", "cost", "faults", "fault_frac", "victim", "nemesis",
-        "base_policy", "speedup_base_processors",
+        "arrivals", "base_policy", "speedup_base_processors",
     }
 )
 
@@ -803,6 +804,10 @@ class RunSpec:
     nemesis: NemesisSpec = field(default_factory=NemesisSpec)
     base_policy: Optional[PolicySpec] = None
     speedup_base_processors: Optional[int] = None
+    #: Open-loop arrival process (see repro.load); the empty spec means a
+    #: closed-loop run, serialized without an "arrivals" key so every
+    #: pre-existing document and cache key stays byte-identical.
+    arrivals: ArrivalSpec = field(default_factory=ArrivalSpec)
 
     @classmethod
     def from_params(cls, params: Mapping[str, Any]) -> "RunSpec":
@@ -846,11 +851,12 @@ class RunSpec:
             nemesis=NemesisSpec.parse(str(params.get("nemesis", "") or "")),
             base_policy=PolicySpec.parse(str(base_policy)) if base_policy else None,
             speedup_base_processors=None if sbp is None else int(sbp),
+            arrivals=ArrivalSpec.parse(str(params.get("arrivals", "") or "")),
         )
 
     def to_json(self) -> Dict[str, Any]:
         """The canonical JSON document (round-trips via :meth:`from_json`)."""
-        return {
+        doc = {
             "schema": RUNSPEC_SCHEMA,
             "workload": self.workload.to_spec_str(),
             "policy": self.policy.to_spec_str(),
@@ -861,12 +867,18 @@ class RunSpec:
             "base_policy": self.base_policy.to_spec_str() if self.base_policy else None,
             "speedup_base_processors": self.speedup_base_processors,
         }
+        if self.arrivals:
+            # Only open-loop specs carry the key: closed-loop documents —
+            # and the sweep cache keys / run ids derived from them — stay
+            # byte-identical to the pre-load era.
+            doc["arrivals"] = self.arrivals.to_spec_str()
+        return doc
 
     @classmethod
     def from_json(cls, payload: Mapping[str, Any]) -> "RunSpec":
         doc_keys = (
             "schema", "workload", "policy", "machine", "seed", "faults",
-            "nemesis", "base_policy", "speedup_base_processors",
+            "nemesis", "arrivals", "base_policy", "speedup_base_processors",
         )
         try:
             schema = payload.get("schema")
@@ -903,6 +915,7 @@ class RunSpec:
                 nemesis=NemesisSpec.parse(str(payload.get("nemesis", "") or "")),
                 base_policy=PolicySpec.parse(str(base_policy)) if base_policy else None,
                 speedup_base_processors=None if sbp is None else int(sbp),
+                arrivals=ArrivalSpec.parse(str(payload.get("arrivals", "") or "")),
             )
         except SpecError:
             raise
@@ -949,4 +962,6 @@ class RunSpec:
                 "speedup_base_processors must be >= 1",
                 field="speedup_base_processors", value=self.speedup_base_processors,
             )
+        if self.arrivals:
+            self.arrivals.validate()
         return self

@@ -59,15 +59,27 @@ class CheckConfig:
 
     ``horizon_frac`` bounds recovery completion as a multiple of the
     fault-free baseline makespan (falling back to the run's own
-    makespan when no baseline was computed).  ``oracles`` selects a
-    subset by name; empty means the full catalog.
+    makespan when no baseline was computed).  ``horizon_time``, when
+    set, is an absolute sim-time bound that overrides the fractional
+    one — the right form for open-loop runs, whose makespan grows with
+    the arrival horizon rather than with recovery latency.  ``oracles``
+    selects a subset by name; empty means the full catalog.
     """
 
     horizon_frac: float = 3.0
+    horizon_time: Optional[float] = None
     oracles: Tuple[str, ...] = ()
 
     def to_json(self) -> Dict[str, Any]:
-        return {"horizon_frac": self.horizon_frac, "oracles": list(self.oracles)}
+        doc: Dict[str, Any] = {
+            "horizon_frac": self.horizon_frac,
+            "oracles": list(self.oracles),
+        }
+        # Emitted only when set so pre-existing search-ledger and
+        # report documents keep their byte-identical config blocks.
+        if self.horizon_time is not None:
+            doc["horizon_time"] = self.horizon_time
+        return doc
 
 
 @dataclass(frozen=True)
@@ -429,6 +441,29 @@ def evaluate_context(
     )
 
 
+def resolve_horizon(
+    config: CheckConfig, base_makespan: float, open_loop: bool = False
+) -> float:
+    """The absolute recovery horizon one evaluation is judged against.
+
+    Precedence: an explicit ``horizon_time`` always wins.  Closed-loop
+    runs scale the fault-free baseline makespan by ``horizon_frac``.
+    Open-loop runs have no finite baseline — their makespan is the
+    arrival horizon, which would make any fractional bound a degenerate
+    pass — so recovery is bounded on the detection/ack scale of the
+    cost model instead (scaled by the same ``horizon_frac``).
+    """
+    if config.horizon_time is not None:
+        return config.horizon_time
+    if open_loop:
+        from repro.config import CostModel
+
+        cost = CostModel()
+        scale = cost.ack_timeout + cost.detection_timeout + cost.detector_delay
+        return config.horizon_frac * scale
+    return config.horizon_frac * max(base_makespan, 1.0)
+
+
 def evaluate(handle: Any, config: Optional[CheckConfig] = None) -> CheckReport:
     """Evaluate oracles over an executed :class:`repro.api.RunHandle`."""
     config = config or CheckConfig()
@@ -439,13 +474,17 @@ def evaluate(handle: Any, config: Optional[CheckConfig] = None) -> CheckReport:
             "execute with collect_trace=True (or Session(oracles=...))",
             field="check.trace",
         )
-    base_makespan = handle.baseline[0] if handle.baseline else result.makespan
+    horizon = resolve_horizon(
+        config,
+        base_makespan=handle.baseline[0] if handle.baseline else result.makespan,
+        open_loop=bool(getattr(handle.spec, "arrivals", None)),
+    )
     ctx = CheckContext(
         records=tuple(result.trace),
         completed=result.completed,
         verified=result.verified,
         makespan=result.makespan,
-        horizon=config.horizon_frac * max(base_makespan, 1.0),
+        horizon=horizon,
         stall_reason=result.stall_reason,
         failed_nodes=tuple(result.metrics.nodes_failed),
     )

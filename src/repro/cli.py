@@ -175,6 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--arrivals",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "open-loop arrival process, e.g. "
+            "'poisson:rate=0.01,horizon=1500,cap=6,overflow=backpressure' "
+            "(processes: poisson, bursty, diurnal; see docs/LOAD.md)"
+        ),
+    )
+    run.add_argument(
         "--spec-json",
         default=None,
         metavar="FILE",
@@ -298,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
             "makespan (default: 3.0)",
         )
         p.add_argument(
+            "--horizon-time", type=float, default=None, metavar="TIME",
+            help="absolute bounded-recovery horizon in sim-time units "
+            "(overrides --horizon; the default for open-loop runs, where "
+            "no finite baseline makespan exists)",
+        )
+        p.add_argument(
             "--json", action="store_true", help="emit canonical JSON"
         )
 
@@ -325,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
     check_run.add_argument(
         "--nemesis", default=None, metavar="SPEC",
         help="fault-model composition to check under (see `repro faults list`)",
+    )
+    check_run.add_argument(
+        "--arrivals", default=None, metavar="SPEC",
+        help="open-loop arrival process to check under (see docs/LOAD.md)",
     )
     check_run.add_argument(
         "--oracle", action="append", default=[], metavar="NAME",
@@ -551,6 +571,7 @@ def _runspec_from_args(args) -> RunSpec:
                 ("--replication", args.replication),
                 ("--fault", args.fault or None),
                 ("--nemesis", args.nemesis),
+                ("--arrivals", args.arrivals),
             )
             if given is not None
         ]
@@ -589,6 +610,7 @@ def _runspec_from_args(args) -> RunSpec:
         (args.replication, builder.replication),
         (args.seed, builder.seed),
         (args.nemesis, builder.nemesis),
+        (args.arrivals, builder.arrivals),
     ):
         if flag is not None:
             setter(flag)
@@ -909,6 +931,8 @@ def _check_config(args):
     kwargs = {}
     if args.horizon is not None:
         kwargs["horizon_frac"] = args.horizon
+    if getattr(args, "horizon_time", None) is not None:
+        kwargs["horizon_time"] = args.horizon_time
     if getattr(args, "oracle", None):
         kwargs["oracles"] = tuple(args.oracle)
     return CheckConfig(**kwargs)
@@ -926,6 +950,7 @@ def _check_runspec_from_args(args) -> RunSpec:
         (args.processors, builder.processors),
         (args.seed, builder.seed),
         (getattr(args, "nemesis", None), builder.nemesis),
+        (getattr(args, "arrivals", None), builder.arrivals),
     ):
         if flag is not None:
             setter(flag)

@@ -408,6 +408,115 @@ register(
     )
 )
 
+# -- open-loop load scenarios (load subsystem, see docs/LOAD.md) --------------
+
+register(
+    ScenarioSpec(
+        name="load-steady",
+        title="L1: open-loop steady state by arrival process",
+        description=(
+            "Uncongested open-loop runs: each arrival process injects a "
+            "stream of random task trees at the root over a fixed "
+            "horizon and the steady-state sojourn/goodput profile is "
+            "measured per recovery policy. No inbox caps, no faults — "
+            "the latency floor the saturation scenarios are compared "
+            "against."
+        ),
+        runner="machine",
+        base={"workload": "balanced:3:2:10", "processors": 8, "seed": 0},
+        axes={
+            "policy": ("rollback", "splice"),
+            "arrivals": (
+                "poisson:rate=0.015,horizon=1000,tasks=6",
+                "bursty:rate=0.05,on=120,off=280,horizon=1000,tasks=6",
+                "diurnal:peak=0.03,horizon=1000,tasks=6",
+            ),
+        },
+        columns=(
+            "verified", "makespan", "load.arrivals", "load.sojourn_p50",
+            "load.sojourn_p95", "load.goodput", "load.queue_depth_mean",
+        ),
+        tags=("load",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="load-saturation",
+        title="L2: saturation sweep — arrival rate x overflow policy",
+        description=(
+            "Bounded inboxes (cap=4) under rising Poisson arrival rates: "
+            "drop-with-notify re-routes shed packets after the detection "
+            "timeout, tail-drop rides the parent ack timer, and "
+            "backpressure defers the sender's slice. The latency "
+            "percentiles, goodput, queue depths, and shed counts trace "
+            "each policy's congestion knee."
+        ),
+        runner="machine",
+        base={
+            "workload": "balanced:3:2:10",
+            "processors": 4,
+            "seed": 0,
+            "policy": "rollback",
+        },
+        axes={
+            "arrivals": (
+                "poisson:rate=0.01,horizon=800,tasks=6,cap=4,overflow=drop",
+                "poisson:rate=0.02,horizon=800,tasks=6,cap=4,overflow=drop",
+                "poisson:rate=0.04,horizon=800,tasks=6,cap=4,overflow=drop",
+                "poisson:rate=0.01,horizon=800,tasks=6,cap=4,overflow=tail",
+                "poisson:rate=0.02,horizon=800,tasks=6,cap=4,overflow=tail",
+                "poisson:rate=0.04,horizon=800,tasks=6,cap=4,overflow=tail",
+                "poisson:rate=0.01,horizon=800,tasks=6,cap=4,overflow=backpressure",
+                "poisson:rate=0.02,horizon=800,tasks=6,cap=4,overflow=backpressure",
+                "poisson:rate=0.04,horizon=800,tasks=6,cap=4,overflow=backpressure",
+            ),
+        },
+        columns=(
+            "verified", "load.sojourn_p95", "load.sojourn_p99",
+            "load.goodput", "load.queue_depth_mean", "load.dropped",
+            "load.backpressure_events",
+        ),
+        tags=("load",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="load-chaos",
+        title="L3: open-loop arrivals under message chaos",
+        description=(
+            "Congested open-loop traffic composed with the nemesis: "
+            "silent message drops/duplicates and detector jitter while "
+            "trees keep arriving at a bounded-inbox machine. Every point "
+            "must still verify — congestion shedding and fault recovery "
+            "share the reissue machinery and must not confuse each "
+            "other. Nemesis params are absolute (no xT fractions: an "
+            "open-loop run has no baseline makespan)."
+        ),
+        runner="machine",
+        base={
+            "workload": "balanced:3:2:10",
+            "processors": 4,
+            "seed": 0,
+            "policy": "splice",
+        },
+        axes={
+            "arrivals": (
+                "poisson:rate=0.03,horizon=800,tasks=6,cap=4,overflow=drop",
+                "bursty:rate=0.08,on=150,off=250,horizon=800,tasks=6,cap=4,overflow=backpressure",
+            ),
+            "nemesis": ("chaos:drop=0.1,dup=0.08", "jitter:max=25"),
+        },
+        columns=(
+            "verified", "load.completed", "load.sojourn_p95",
+            "load.dropped", "load.backpressure_events",
+            "recoveries_triggered", "results_duplicate",
+        ),
+        tags=("load", "chaos"),
+    )
+)
+
 register(
     ScenarioSpec(
         name="smoke",

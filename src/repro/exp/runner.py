@@ -398,6 +398,12 @@ def sweep_table(sweep: SweepResult, spec: Optional[ScenarioSpec] = None) -> str:
         row += [p["params"].get(a) for a in axis_names]
         for col in columns:
             value = p["result"].get(col, p["result"].get("metrics", {}).get(col))
+            if value is None and "." in col:
+                # Dotted columns read one sub-dict level (e.g. the
+                # ``load.*`` summary of an open-loop run).
+                value: Any = p["result"]
+                for part in col.split("."):
+                    value = value.get(part) if isinstance(value, dict) else None
             if isinstance(value, float):
                 value = round(value, 3)
             row.append(value)

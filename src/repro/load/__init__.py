@@ -1,0 +1,40 @@
+"""Open-loop load subsystem: arrival processes, congestion, steady state.
+
+Closed-loop runs evaluate one finite task tree; this package adds the
+sustained-traffic regime the recovery schemes must ultimately survive —
+seeded arrival processes injecting heterogeneous task trees at the
+super-root, finite per-node inboxes with pluggable overflow policies,
+and steady-state metrics (sojourn percentiles, goodput, queue depth)
+reported alongside makespan.  See docs/LOAD.md.
+
+The subsystem is opt-in and guarded: a :class:`RunSpec` without an
+``arrivals`` clause takes exactly the pre-existing code paths, byte for
+byte (the golden-digest parity tests pin this).
+"""
+
+from repro.load.generator import (
+    LoadGenerator,
+    LoadState,
+    LoadSummary,
+    OpenLoopWorkload,
+)
+from repro.load.process import Arrival, sample_arrivals
+from repro.load.spec import (
+    ARRIVAL_PROCESSES,
+    OVERFLOW_POLICIES,
+    PROCESSES,
+    ArrivalSpec,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "Arrival",
+    "ArrivalSpec",
+    "LoadGenerator",
+    "LoadState",
+    "LoadSummary",
+    "OVERFLOW_POLICIES",
+    "OpenLoopWorkload",
+    "PROCESSES",
+    "sample_arrivals",
+]

@@ -1,0 +1,372 @@
+"""Canonical, round-trippable arrival-process specs.
+
+An :class:`ArrivalSpec` describes an *open-loop* traffic regime: instead
+of one closed task tree, the simulated machine receives a stream of
+independent task trees injected at the super-root over a configured
+horizon.  The grammar follows the ``NemesisSpec`` discipline exactly —
+
+* ``parse`` / ``to_spec_str`` round-trip byte-exactly,
+* parameters render in declaration order, only when explicitly given,
+* every failure is a structured :class:`~repro.errors.SpecError`.
+
+Grammar (one clause; an empty string means "closed-loop, no arrivals")::
+
+    process:key=value,key=value,...
+
+    poisson:rate=0.01,horizon=1500
+    bursty:rate=0.05,on=200,off=400,horizon=2000,tasks=10
+    diurnal:peak=0.02,horizon=3000,cap=6,overflow=backpressure
+
+Processes
+---------
+``poisson``
+    Memoryless arrivals at mean rate ``rate`` (arrivals per sim-time
+    unit) over ``[0, horizon)``.
+``bursty``
+    Markov-modulated on/off: exponential bursts of mean length ``on``
+    (Poisson arrivals at ``rate`` inside a burst) separated by
+    exponential idle gaps of mean length ``off``.
+``diurnal``
+    A triangular ramp: the instantaneous rate rises linearly from 0 to
+    ``peak`` at mid-horizon and back to 0 (thinning of a ``peak``-rate
+    Poisson stream).
+
+Common parameters: ``tasks`` (mean sampled tree size; each arrival's
+tree size is uniform in ``[max(1, tasks//2), tasks + tasks//2]``),
+``cap`` (finite per-node inbox capacity, 0 = unbounded) and
+``overflow`` (what a full inbox does: ``drop`` = drop-with-notify,
+``tail`` = silent tail drop recovered by ack timers, ``backpressure``
+= deliver but defer the sender's next slice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import SpecError
+
+#: Registered arrival-process names, in documentation order.
+ARRIVAL_PROCESSES: Tuple[str, ...] = ("poisson", "bursty", "diurnal")
+
+#: Overflow policies for finite inboxes, in documentation order.
+OVERFLOW_POLICIES: Tuple[str, ...] = ("drop", "tail", "backpressure")
+
+#: Soft budget on the *expected* number of arrivals implied by a spec;
+#: validation rejects specs beyond it so a typo'd rate cannot schedule
+#: an effectively unbounded simulation.
+MAX_EXPECTED_ARRIVALS = 5000.0
+
+
+def _fmt_num(value: Any) -> str:
+    """Canonical numeric rendering (mirrors ``repro.api.specs``)."""
+    if isinstance(value, bool):  # pragma: no cover - no bool params today
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    text = repr(float(value))
+    if text.endswith(".0"):
+        text = text[:-2]
+    return text.replace("e+", "e")
+
+
+@dataclass(frozen=True)
+class ProcessParam:
+    """Declaration of one arrival-process parameter."""
+
+    kind: str  # "float" | "int" | "choice"
+    default: Any  # None = required
+    doc: str
+    choices: Tuple[str, ...] = ()
+
+    @property
+    def required(self) -> bool:
+        return self.default is None
+
+
+def _common_params() -> Dict[str, ProcessParam]:
+    return {
+        "tasks": ProcessParam(
+            "int", 8, "mean tree size; sizes are uniform in [max(1, tasks//2), tasks + tasks//2]"
+        ),
+        "cap": ProcessParam("int", 0, "per-node inbox capacity (0 = unbounded)"),
+        "overflow": ProcessParam(
+            "choice",
+            "drop",
+            "full-inbox policy: drop (drop-with-notify), tail (silent), backpressure",
+            choices=OVERFLOW_POLICIES,
+        ),
+    }
+
+
+#: Parameter tables per process, in canonical (declaration) order.
+PROCESSES: Dict[str, Dict[str, ProcessParam]] = {
+    "poisson": {
+        "rate": ProcessParam("float", None, "mean arrival rate (arrivals per time unit)"),
+        "horizon": ProcessParam("float", None, "arrival window [0, horizon)"),
+        **_common_params(),
+    },
+    "bursty": {
+        "rate": ProcessParam("float", None, "arrival rate inside a burst"),
+        "on": ProcessParam("float", None, "mean burst length (time units)"),
+        "off": ProcessParam("float", None, "mean idle gap between bursts"),
+        "horizon": ProcessParam("float", None, "arrival window [0, horizon)"),
+        **_common_params(),
+    },
+    "diurnal": {
+        "peak": ProcessParam("float", None, "peak arrival rate at mid-horizon"),
+        "horizon": ProcessParam("float", None, "arrival window [0, horizon)"),
+        **_common_params(),
+    },
+}
+
+
+def _parse_number(
+    token: str, kind: str, *, spec: str, field: str, position: int
+) -> Any:
+    if kind == "int":
+        try:
+            return int(token)
+        except ValueError:
+            raise SpecError(
+                f"expected an integer for {field}, got {token!r}",
+                spec=spec,
+                field=field,
+                value=token,
+                position=position,
+            ) from None
+    try:
+        return float(token)
+    except ValueError:
+        raise SpecError(
+            f"expected a number for {field}, got {token!r}",
+            spec=spec,
+            field=field,
+            value=token,
+            position=position,
+        ) from None
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One arrival process with its explicitly-given parameters.
+
+    ``params`` holds only the parameters the user supplied, as
+    ``(name, value)`` pairs in canonical declaration order — exactly the
+    ``NemesisClause`` convention, so ``parse(s).to_spec_str()`` is a
+    normal form and defaults can evolve without re-serializing old
+    specs.  The empty spec (``process == ""``) is falsy and means
+    "closed loop": no arrivals, no congestion, byte-identical behavior
+    to a run that predates this subsystem.
+
+    Examples
+    --------
+    >>> spec = ArrivalSpec.parse("poisson:horizon=1500,rate=0.01")
+    >>> spec.to_spec_str()
+    'poisson:rate=0.01,horizon=1500'
+    >>> ArrivalSpec.parse(spec.to_spec_str()) == spec
+    True
+    >>> bool(ArrivalSpec.parse(""))
+    False
+    """
+
+    process: str = ""
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.process != ""
+
+    # -- parsing ---------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "ArrivalSpec":
+        text = (text or "").strip()
+        if not text:
+            return cls()
+        name, sep, rest = text.partition(":")
+        name = name.strip()
+        if name not in PROCESSES:
+            raise SpecError(
+                f"unknown arrival process {name!r}",
+                spec=text,
+                field="arrivals.process",
+                value=name,
+                allowed=ARRIVAL_PROCESSES,
+                position=0,
+            )
+        table = PROCESSES[name]
+        given: Dict[str, Any] = {}
+        if sep and rest.strip():
+            offset = len(name) + 1
+            for item in rest.split(","):
+                position = offset
+                offset += len(item) + 1
+                token = item.strip()
+                if not token:
+                    continue
+                key, eq, raw = token.partition("=")
+                key = key.strip()
+                raw = raw.strip()
+                if not eq or not raw:
+                    raise SpecError(
+                        f"expected key=value in arrival spec, got {token!r}",
+                        spec=text,
+                        field=f"arrivals.{name}",
+                        value=token,
+                        position=position,
+                    )
+                info = table.get(key)
+                if info is None:
+                    raise SpecError(
+                        f"unknown parameter {key!r} for arrival process {name!r}",
+                        spec=text,
+                        field=f"arrivals.{name}.{key}",
+                        value=key,
+                        allowed=tuple(table),
+                        position=position,
+                    )
+                if key in given:
+                    raise SpecError(
+                        f"duplicate parameter {key!r} in arrival spec",
+                        spec=text,
+                        field=f"arrivals.{name}.{key}",
+                        value=key,
+                        position=position,
+                    )
+                if info.kind == "choice":
+                    if raw not in info.choices:
+                        raise SpecError(
+                            f"unknown value {raw!r} for {name}.{key}",
+                            spec=text,
+                            field=f"arrivals.{name}.{key}",
+                            value=raw,
+                            allowed=info.choices,
+                            position=position,
+                        )
+                    given[key] = raw
+                else:
+                    given[key] = _parse_number(
+                        raw,
+                        info.kind,
+                        spec=text,
+                        field=f"arrivals.{name}.{key}",
+                        position=position,
+                    )
+        for key, info in table.items():
+            if info.required and key not in given:
+                raise SpecError(
+                    f"arrival process {name!r} requires parameter {key!r}",
+                    spec=text,
+                    field=f"arrivals.{name}.{key}",
+                    value=None,
+                    allowed=tuple(k for k, p in table.items() if p.required),
+                )
+        ordered = tuple((k, given[k]) for k in table if k in given)
+        return cls(process=name, params=ordered)
+
+    # -- rendering -------------------------------------------------------
+
+    def to_spec_str(self) -> str:
+        if not self.process:
+            return ""
+        rendered = ",".join(
+            f"{k}={v if isinstance(v, str) else _fmt_num(v)}" for k, v in self.params
+        )
+        return f"{self.process}:{rendered}" if rendered else self.process
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"process": self.process, "params": {k: v for k, v in self.params}}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "ArrivalSpec":
+        if not isinstance(payload, Mapping):
+            raise SpecError(
+                f"arrival document must be an object, got {type(payload).__name__}",
+                field="arrivals",
+                value=payload,
+            )
+        process = str(payload.get("process", "") or "")
+        if not process:
+            return cls()
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise SpecError(
+                "arrival 'params' must be an object",
+                field="arrivals.params",
+                value=params,
+            )
+        rendered = ",".join(
+            f"{k}={v if isinstance(v, str) else _fmt_num(v)}" for k, v in params.items()
+        )
+        return cls.parse(f"{process}:{rendered}" if rendered else process)
+
+    # -- semantics -------------------------------------------------------
+
+    def resolved(self) -> Dict[str, Any]:
+        """Effective parameters: declared defaults overlaid by the given
+        values, in declaration order.  Empty dict for the empty spec."""
+        if not self.process:
+            return {}
+        given = dict(self.params)
+        return {
+            k: given.get(k, info.default) for k, info in PROCESSES[self.process].items()
+        }
+
+    def expected_arrivals(self) -> float:
+        """Mean number of arrivals the spec implies (0 for the empty spec)."""
+        if not self.process:
+            return 0.0
+        p = self.resolved()
+        if self.process == "poisson":
+            return p["rate"] * p["horizon"]
+        if self.process == "bursty":
+            duty = p["on"] / (p["on"] + p["off"]) if p["on"] + p["off"] > 0 else 1.0
+            return p["rate"] * p["horizon"] * duty
+        # diurnal: triangular ramp integrates to peak * horizon / 2
+        return p["peak"] * p["horizon"] / 2.0
+
+    def validate(self) -> None:
+        """Raise :class:`SpecError` unless the spec is semantically sound."""
+        if not self.process:
+            return
+        spec_str = self.to_spec_str()
+        p = self.resolved()
+        checks = (
+            ("rate", lambda v: v > 0, "must be > 0"),
+            ("peak", lambda v: v > 0, "must be > 0"),
+            ("horizon", lambda v: v > 0, "must be > 0"),
+            ("on", lambda v: v > 0, "must be > 0"),
+            ("off", lambda v: v >= 0, "must be >= 0"),
+            ("tasks", lambda v: v >= 1, "must be >= 1"),
+            ("cap", lambda v: v >= 0, "must be >= 0"),
+        )
+        for key, ok, why in checks:
+            if key in p and not ok(p[key]):
+                raise SpecError(
+                    f"arrival parameter {self.process}.{key} {why}, got {p[key]}",
+                    spec=spec_str,
+                    field=f"arrivals.{self.process}.{key}",
+                    value=p[key],
+                )
+        expected = self.expected_arrivals()
+        if expected > MAX_EXPECTED_ARRIVALS:
+            raise SpecError(
+                f"arrival spec implies ~{expected:.0f} expected arrivals "
+                f"(budget {MAX_EXPECTED_ARRIVALS:.0f}); lower rate or horizon",
+                spec=spec_str,
+                field=f"arrivals.{self.process}",
+                value=expected,
+            )
+
+    def build(self):
+        """Build the :class:`~repro.load.generator.LoadGenerator` for this
+        spec (validating first).  The empty spec builds nothing."""
+        if not self.process:
+            return None
+        self.validate()
+        from repro.load.generator import LoadGenerator
+
+        return LoadGenerator(self)
+
+    def describe(self) -> str:
+        return self.to_spec_str() or "<no arrivals>"

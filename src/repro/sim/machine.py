@@ -73,6 +73,9 @@ class RunResult:
     expected: Any = None
     verified: Optional[bool] = None
     stall_reason: Optional[str] = None
+    #: Steady-state observations of an open-loop run
+    #: (:class:`repro.load.LoadSummary`), or None for closed-loop runs.
+    load: Optional[Any] = None
 
     @property
     def correct(self) -> bool:
@@ -135,6 +138,9 @@ class Machine:
         #: Armed nemesis schedule for this run, or None (the guarded fast
         #: path).  Set by NemesisSchedule.arm() from run().
         self.nemesis = None
+        #: Armed open-loop load generator, or None (same guard discipline).
+        #: Set by LoadGenerator.arm() from run().
+        self.load = None
         self.instance_registry: Dict[int, TaskInstance] = {}
         self.root_host_uid: Optional[int] = None
         self._finished = False
@@ -182,13 +188,17 @@ class Machine:
         faults: FaultSchedule = FaultSchedule.none(),
         verify: bool = True,
         nemesis=None,
+        load=None,
     ) -> RunResult:
         """Evaluate the workload to completion (or stall) and report.
 
         ``nemesis`` is an optional
         :class:`~repro.faults.model.NemesisSchedule`; an empty (or
         omitted) one leaves every hook unbound, so the run is
-        byte-identical to a pre-nemesis machine.
+        byte-identical to a pre-nemesis machine.  ``load`` is an optional
+        :class:`~repro.load.LoadGenerator`; when armed it replaces the
+        workload with the open-loop arrival population (same guard
+        discipline — omitted means the closed-loop fast path).
         """
         if self._ran:
             raise SimError("a Machine is single-shot; build a new one per run")
@@ -201,6 +211,8 @@ class Machine:
         FaultInjector(self, faults).arm()
         if nemesis is not None:
             nemesis.arm(self)
+        if load is not None:
+            load.arm(self)
         self._start_root_host()
         self.queue.run(
             until=lambda: self._finished,
@@ -238,6 +250,7 @@ class Machine:
             expected=expected,
             verified=verified,
             stall_reason=stall_reason,
+            load=self.load.summary(self.queue.now) if self.load is not None else None,
         )
 
     def _start_root_host(self) -> None:
@@ -248,9 +261,12 @@ class Machine:
             parent=ReturnAddress(SUPER_ROOT_NODE, host_uid),
             grandparent_node=SUPER_ROOT_NODE,
         )
-        host = TaskInstance(
-            host_uid, packet, SUPER_ROOT_NODE, _RootHostBehavior(self.workload.root_work())
+        behavior = (
+            _RootHostBehavior(self.workload.root_work())
+            if self.load is None
+            else self.load.make_host_behavior()
         )
+        host = TaskInstance(host_uid, packet, SUPER_ROOT_NODE, behavior)
         self.super_root.instances[host_uid] = host
         self.register_instance(host)
         self.root_host_uid = host_uid
@@ -295,6 +311,7 @@ def run_simulation(
     collect_trace: bool = True,
     verify: bool = True,
     nemesis=None,
+    load=None,
 ) -> RunResult:
     """Convenience one-call runner."""
     machine = Machine(
@@ -303,4 +320,4 @@ def run_simulation(
         policy,
         collect_trace=collect_trace,
     )
-    return machine.run(faults=faults, verify=verify, nemesis=nemesis)
+    return machine.run(faults=faults, verify=verify, nemesis=nemesis, load=load)

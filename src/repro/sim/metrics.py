@@ -66,6 +66,12 @@ class Metrics:
     nemesis_partition_blocked: int = 0
     nemesis_slowdown_time: float = 0.0
 
+    # Open-loop load (see repro.load); zero on closed-loop runs
+    load_arrivals: int = 0
+    load_completed: int = 0
+    load_dropped: int = 0
+    load_backpressure_events: int = 0
+
     # Replication / voting
     votes_recorded: int = 0
     votes_decided: int = 0

@@ -95,6 +95,10 @@ class Node:
         #: Armed nemesis schedule, or None (the guarded fast path — same
         #: discipline as ``trace.enabled``).  Set by NemesisSchedule.arm().
         self.nemesis = None
+        #: Armed finite-inbox admission check, or None (same guard
+        #: discipline).  Set by LoadGenerator.arm() when a capacity is
+        #: configured.
+        self.congestion = None
         self._run_label = f"run:node{node_id}"
         self._slice_label = f"slice-end:node{node_id}"
 
@@ -411,7 +415,11 @@ class Node:
         if dest == self.id:
             self._handle_task_packet(msg)
         else:
-            self.machine.nodes[dest].inbound_pending += 1
+            target = self.machine.nodes[dest]
+            congestion = self.congestion
+            if congestion is not None and congestion.on_route(self, target, msg):
+                return  # packet shed at the full inbox (drop/tail policy)
+            target.inbound_pending += 1
             self.machine.network.send(msg)
 
     def _arm_ack_timer(self, task: TaskInstance, record: SpawnRecord) -> None:

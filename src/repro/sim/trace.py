@@ -56,6 +56,10 @@ KINDS = (
     "nemesis_drop",
     "nemesis_duplicate",
     "nemesis_delay",
+    "load_arrival",
+    "load_tree_done",
+    "inbox_drop",
+    "backpressure",
 )
 
 _KINDS_SET = frozenset(KINDS)

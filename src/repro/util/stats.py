@@ -93,6 +93,25 @@ def quartiles(values: Sequence[float]) -> tuple[float, float, float]:
     return (float(q1), float(med), float(q3))
 
 
+def percentiles(
+    values: Sequence[float], probs: Sequence[float] = (50.0, 95.0, 99.0)
+) -> tuple[float, ...]:
+    """Arbitrary percentiles of a sample (linear interpolation).
+
+    The latency-tail companion of :func:`quartiles` — the load subsystem
+    reports sojourn p50/p95/p99 through it.  ``probs`` are percentages in
+    ``[0, 100]``; an empty sample raises ``ValueError``.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take percentiles of an empty sample")
+    probs = list(probs)
+    for p in probs:
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile probabilities must be in [0, 100], got {p}")
+    return tuple(float(v) for v in np.percentile(arr, probs))
+
+
 def bootstrap_median_ci(
     values: Sequence[float],
     level: float = 0.95,

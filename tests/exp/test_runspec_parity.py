@@ -38,6 +38,13 @@ GOLDEN_POINT_DIGESTS = {
     "fig3-inheritance": "5ca878ae7215fbba480a4662c87002e8d2fa4eece84ba547f4b520bb7bf69be7",
     "fig5-cases": "68d0c15717ddfee8d79a5509d17e25f1abcefceda4aca0b7b733f17d6de2c4c8",
     "fig6-residue": "f867473ca5113c4671dbf5b825b6ab3277ff5a5f40f982aed0df24be52e6437e",
+    # The load-* digests were captured at their introduction (machine
+    # runner v3, open-loop load subsystem) rather than at the
+    # pre-RunSpec seed, but guard the same invariant: the sweep payload
+    # is byte-deterministic across runs and refactors.
+    "load-chaos": "1b0767d345689f8d6a2d379cd8c253ab65b922044224a94edb893d619fcf012e",
+    "load-saturation": "33eef2eb55421dfe9a86f077a63a6e06586fa72e02cc595531b0f856ace43d8f",
+    "load-steady": "a459517834ead87c8439d91c1ce69b5f388dff8197b8f0f4bf2522278ea09611",
     "loadbalance": "d0f2df559ae2eaf975137268346b4bfd66bec02423e4a539f1394fb1fce3b5f6",
     "multi-fault": "9886b353ac918f7d90e462d99bd1bf0dfc36b5363ab74dfa754b282467d6fd89",
     "orphan-regime": "8fe09368fa2a757afc58dafef8f3fac1b1cc17c4256b8a691694a06dfe7c1ca9",

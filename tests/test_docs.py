@@ -33,6 +33,7 @@ DOC_FILES = [
     "docs/LEDGER.md",
     "docs/REPORTS.md",
     "docs/CHECK.md",
+    "docs/LOAD.md",
 ]
 
 EXP_REF = re.compile(r"exp (?:run|show) ([a-z0-9][a-z0-9-]*)")
@@ -60,6 +61,7 @@ FAULT_MODEL_NAMES = {"crash", "cascade", "partition", "chaos", "grayfail", "jitt
 #: in docs/API.md, and in the README).
 API_EXPORTS = {
     "RUNSPEC_SCHEMA",
+    "ArrivalSpec",
     "Experiment",
     "FaultSpec",
     "MachineSpec",
@@ -156,6 +158,29 @@ CHECK_EXPORTS = {
     "select_oracles",
     "shrink",
 }
+
+#: The public surface of repro.load, pinned like repro.api: CLI flags,
+#: scenario axes, and docs/LOAD.md reference these names, so
+#: removals/renames are breaking changes and must be made deliberately
+#: (here and in docs/LOAD.md).
+LOAD_EXPORTS = {
+    "ARRIVAL_PROCESSES",
+    "Arrival",
+    "ArrivalSpec",
+    "LoadGenerator",
+    "LoadState",
+    "LoadSummary",
+    "OVERFLOW_POLICIES",
+    "OpenLoopWorkload",
+    "PROCESSES",
+    "sample_arrivals",
+}
+
+#: Arrival-process and overflow-policy names are API: spec strings in
+#: sweep caches, ledgers, and CLI flags match on them, so renames are
+#: breaking changes (update here and in docs/LOAD.md deliberately).
+ARRIVAL_PROCESS_NAMES = ("poisson", "bursty", "diurnal")
+OVERFLOW_POLICY_NAMES = ("drop", "tail", "backpressure")
 
 #: The oracle catalog names are API: ledgers, docs, and the CLI pin
 #: them as strings, so renames are breaking changes (update here and
@@ -463,6 +488,69 @@ class TestLedgerReferences:
         scenarios_doc = read_docs()["docs/SCENARIOS.md"]
         assert "LEDGER.md" in scenarios_doc
         assert "results/ledger" in scenarios_doc or "ledger/" in scenarios_doc
+
+
+class TestLoadReferences:
+    def test_load_exports_are_pinned(self):
+        import repro.load
+
+        assert set(repro.load.__all__) == LOAD_EXPORTS, (
+            "repro.load exports changed; update LOAD_EXPORTS and "
+            "docs/LOAD.md deliberately"
+        )
+        for name in LOAD_EXPORTS:
+            assert hasattr(repro.load, name), name
+
+    def test_arrival_process_names_are_pinned(self):
+        from repro.load import ARRIVAL_PROCESSES, OVERFLOW_POLICIES
+
+        assert ARRIVAL_PROCESSES == ARRIVAL_PROCESS_NAMES, (
+            "arrival-process names changed; spec strings in caches and "
+            "ledgers match on these — update here and docs/LOAD.md "
+            "deliberately"
+        )
+        assert OVERFLOW_POLICIES == OVERFLOW_POLICY_NAMES
+
+    def test_every_process_and_policy_documented_in_load_md(self):
+        load_doc = read_docs()["docs/LOAD.md"]
+        for name in ARRIVAL_PROCESS_NAMES + OVERFLOW_POLICY_NAMES:
+            assert f"`{name}`" in load_doc, (
+                f"{name!r} missing from docs/LOAD.md"
+            )
+
+    def test_docs_name_the_load_cli_flags(self):
+        readme = read_docs()["README.md"]
+        load_doc = read_docs()["docs/LOAD.md"]
+        assert "--arrivals" in load_doc
+        assert "--horizon-time" in load_doc
+        assert "--arrivals" in readme
+
+    def test_load_cli_flags_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "fib-10", "--arrivals", "poisson:rate=0.01,horizon=100"]
+        )
+        assert args.arrivals == "poisson:rate=0.01,horizon=100"
+        args = parser.parse_args(
+            ["check", "run", "fib-10", "--arrivals",
+             "poisson:rate=0.01,horizon=100", "--horizon-time", "900"]
+        )
+        assert args.horizon_time == 900.0
+
+    def test_load_scenarios_registered_and_documented(self):
+        registered = set(all_scenarios())
+        corpus = "\n".join(read_docs().values())
+        for name in ("load-steady", "load-saturation", "load-chaos"):
+            assert name in registered
+            assert name in corpus, f"load scenario {name!r} missing from docs"
+
+    def test_load_md_shows_the_spec_grammar(self):
+        load_doc = read_docs()["docs/LOAD.md"]
+        assert "rate=" in load_doc and "horizon=" in load_doc
+        assert "overflow=" in load_doc
+        assert "ArrivalSpec" in load_doc
 
 
 class TestReadmeDocsIndex:
