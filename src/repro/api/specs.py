@@ -28,7 +28,8 @@ String grammars (all legacy-compatible):
 - workload: suite name (``fib-10``), ``balanced:DEPTH:FANOUT:WORK``,
   ``chain:LEN:WORK``, ``wide:WIDTH:WORK``, ``skewed:DEPTH:FANOUT:WORK``,
   ``random:SEED:TASKS``, ``prog:NAME:ARG:...``
-- policy: ``none`` | ``rollback`` | ``splice`` | ``replicated[:K]``
+- policy: ``none`` | ``rollback`` | ``splice`` | ``reversible`` |
+  ``incremental[:persist=volatile|durable|hybrid]`` | ``replicated[:K]``
 - faults: ``T:NODE(+T:NODE)*`` where ``T`` is a fraction of the baseline
   makespan (``mode="frac"``) or an absolute sim time (``mode="time"``)
 - nemesis: ``model:k=v,...(+model:k=v,...)*`` (see ``repro faults list``)
@@ -239,12 +240,17 @@ class PolicySpec:
 
     ``k`` is the replication factor and only meaningful for
     ``replicated`` (``None`` means the policy default of 3).
+    ``persist`` is the crash-persistency assumption and only meaningful
+    for ``incremental`` (``None`` means the policy default,
+    ``volatile``).
     """
 
     name: str
     k: Optional[int] = None
+    persist: Optional[str] = None
 
-    _SIMPLE = ("none", "rollback", "splice")
+    _SIMPLE = ("none", "rollback", "splice", "reversible")
+    _PERSIST_MODES = ("volatile", "durable", "hybrid")
 
     @classmethod
     def parse(cls, text: str) -> "PolicySpec":
@@ -255,6 +261,10 @@ class PolicySpec:
                 return cls("replicated")
             k = _parse_int(arg, spec=text, field_name="policy.k", position=len(name) + 1)
             return cls("replicated", k=k)
+        if name == "incremental":
+            if not sep:
+                return cls("incremental")
+            return cls("incremental", persist=cls._parse_persist(text, arg, len(name) + 1))
         if name in cls._SIMPLE:
             if sep:
                 raise SpecError(
@@ -265,19 +275,60 @@ class PolicySpec:
         raise SpecError(
             f"unknown policy spec {text!r}",
             spec=text, field="policy", value=name,
-            allowed=cls._SIMPLE + ("replicated:K",), position=0,
+            allowed=cls._SIMPLE + ("incremental[:persist=MODE]", "replicated:K"),
+            position=0,
         )
 
+    @classmethod
+    def _parse_persist(cls, text: str, arg: str, position: int) -> str:
+        """Parse the ``persist=MODE`` parameter of ``incremental``.
+
+        Diagnostics follow the nemesis grammar's discipline: an unknown
+        parameter names the policy as the field with the parameter list
+        as the allowed set; a bad value names the parameter as the field
+        with the mode list as the allowed set, positioned at the value.
+        """
+        key, eq, value = arg.partition("=")
+        if not eq or key != "persist":
+            raise SpecError(
+                f"unknown parameter {key!r} for policy 'incremental' "
+                "(expected persist=MODE)",
+                spec=text, field="policy.incremental", value=key,
+                allowed=("persist",), position=position,
+            )
+        if value not in cls._PERSIST_MODES:
+            raise SpecError(
+                f"bad value {value!r} for policy.persist",
+                spec=text, field="policy.persist", value=value,
+                allowed=cls._PERSIST_MODES,
+                position=position + len(key) + 1,
+            )
+        return value
+
     def to_spec_str(self) -> str:
-        return f"{self.name}:{self.k}" if self.k is not None else self.name
+        if self.k is not None:
+            return f"{self.name}:{self.k}"
+        if self.persist is not None:
+            return f"{self.name}:persist={self.persist}"
+        return self.name
 
     def to_json(self) -> Dict[str, Any]:
-        return {"name": self.name, "k": self.k}
+        # ``persist`` is emitted only when set so every pre-existing
+        # document (and therefore every cache key) stays byte-identical.
+        out: Dict[str, Any] = {"name": self.name, "k": self.k}
+        if self.persist is not None:
+            out["persist"] = self.persist
+        return out
 
     @classmethod
     def from_json(cls, payload: Mapping[str, Any]) -> "PolicySpec":
         k = payload.get("k")
-        return cls(name=str(payload["name"]), k=None if k is None else int(k))
+        persist = payload.get("persist")
+        return cls(
+            name=str(payload["name"]),
+            k=None if k is None else int(k),
+            persist=None if persist is None else str(persist),
+        )
 
     def build(self):
         """Instantiate a fresh policy object.
@@ -293,13 +344,17 @@ class PolicySpec:
             RollbackRecovery,
             SpliceRecovery,
         )
+        from repro.policies import IncrementalRecovery, ReversibleRecovery
 
         if self.name == "replicated":
             return ReplicatedExecution(k=self.k)
+        if self.name == "incremental":
+            return IncrementalRecovery(persist=self.persist or "volatile")
         return {
             "none": NoFaultTolerance,
             "rollback": RollbackRecovery,
             "splice": SpliceRecovery,
+            "reversible": ReversibleRecovery,
         }[self.name]()
 
 

@@ -78,7 +78,18 @@ from repro.workloads.suite import WORKLOADS
 
 #: argparse choices mirror the spec layer's allowed values, so adding a
 #: policy/topology/scheduler in repro.api is enough for the CLI.
-POLICIES = PolicySpec._SIMPLE + ("replicated",)
+#: Policies take parameters (``replicated:K``, ``incremental:persist=MODE``),
+#: so ``--policy`` validates through the spec grammar instead of a choices
+#: list; this tuple is the bare-name catalog ``repro list`` renders.
+POLICIES = PolicySpec._SIMPLE + ("incremental", "replicated")
+
+#: The ``--policy`` help string, kept next to POLICIES so the CLI surface
+#: and the spec grammar stay in sync (pinned by tests/test_docs.py).
+POLICY_HELP = (
+    "none | rollback | splice | reversible | "
+    "incremental[:persist=volatile|durable|hybrid] | replicated[:K] "
+    "(default: rollback)"
+)
 
 TRACE_KINDS = (
     "node_failed",
@@ -89,6 +100,22 @@ TRACE_KINDS = (
     "result_salvaged",
     "task_aborted",
 )
+
+
+def _parse_policy(text: str) -> str:
+    """One ``--policy`` flag value, via the shared PolicySpec grammar.
+
+    Returns the raw string (downstream spec-building re-parses it);
+    parameterized specs like ``replicated:3`` or ``incremental:persist=
+    durable`` can't pass an argparse choices list, so validation runs
+    through the grammar and its structured diagnostic is re-raised
+    verbatim as an ArgumentTypeError.
+    """
+    try:
+        PolicySpec.parse(text)
+    except SpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return text
 
 
 def _parse_fault(text: str):
@@ -142,7 +169,8 @@ def build_parser() -> argparse.ArgumentParser:
     # 0 / 3), and *any* explicitly-given flag — even at its default
     # value — conflicts with --spec-json.
     run.add_argument(
-        "--policy", choices=POLICIES, default=None, help="default: rollback"
+        "--policy", type=_parse_policy, default=None, metavar="POLICY",
+        help=POLICY_HELP
     )
     run.add_argument("--processors", type=int, default=None, help="default: 4")
     run.add_argument(
@@ -330,7 +358,8 @@ def build_parser() -> argparse.ArgumentParser:
         "of one flag-built spec",
     )
     check_run.add_argument(
-        "--policy", choices=POLICIES, default=None, help="default: rollback"
+        "--policy", type=_parse_policy, default=None, metavar="POLICY",
+        help=POLICY_HELP
     )
     check_run.add_argument("--processors", type=int, default=None, help="default: 4")
     check_run.add_argument("--seed", type=int, default=None, help="default: 0")
@@ -366,7 +395,8 @@ def build_parser() -> argparse.ArgumentParser:
         "point (faults and nemesis cleared — the searcher owns that axis)",
     )
     check_search.add_argument(
-        "--policy", choices=POLICIES, default=None, help="default: rollback"
+        "--policy", type=_parse_policy, default=None, metavar="POLICY",
+        help=POLICY_HELP
     )
     check_search.add_argument("--processors", type=int, default=None, help="default: 4")
     check_search.add_argument("--seed", type=int, default=0, help="generator seed (default: 0)")

@@ -9,6 +9,15 @@ undeliverable, and failure detection.
 table, orphans abort, failures stall the program — the baseline every
 recovery scheme is measured against (and the control in correctness
 tests).
+
+This surface is the extension point for competing recovery schemes:
+the paper's own policies live in :mod:`repro.core` (rollback, splice,
+replicated) and external competitors in :mod:`repro.policies`
+(HEAL-style incremental repair, reversible backtracking).  A policy
+that subclasses these hooks and is registered in
+``repro.api.specs.PolicySpec`` is automatically reachable from every
+scenario grid, nemesis schedule, arrival process, trace oracle, and
+``repro report compare --axis policy`` — see docs/POLICIES.md.
 """
 
 from __future__ import annotations

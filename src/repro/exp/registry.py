@@ -519,6 +519,103 @@ register(
 
 register(
     ScenarioSpec(
+        name="policy-compare-faultfree",
+        title="P1: all six policies, fault-free overhead",
+        description=(
+            "Every registered recovery policy on one fault-free tree: "
+            "the bookkeeping each policy charges when nothing fails. "
+            "This is the small grid the CI policy-smoke job feeds to "
+            "`repro report compare --axis policy` — the stall-prone "
+            "policies (`none`, `replicated`) can only join a compare "
+            "axis when no nemesis is in play."
+        ),
+        runner="machine",
+        base={"workload": "balanced:4:2:30", "processors": 4, "seed": 0},
+        axes={
+            "policy": (
+                "none", "rollback", "splice", "replicated:3",
+                "incremental", "reversible",
+            ),
+        },
+        columns=(
+            "makespan", "verified", "checkpoints_recorded",
+            "messages_total", "steps_wasted",
+        ),
+        tags=("policy",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="policy-compare-chaos",
+        title="P2: competing policies under partition-heal",
+        description=(
+            "The paper's recovery policies against the external "
+            "competitors (HEAL-style incremental repair, RCP-style "
+            "reversible backtracking) on two adversarial regimes: the "
+            "N1 partition-heal and a late mid-run crash on a wide tree "
+            "— the regime where the repair styles actually diverge "
+            "(abort-vs-repair of starved waiters, unwind reissues). "
+            "All points must verify. Times are fractions of rollback's "
+            "fault-free makespan."
+        ),
+        runner="machine",
+        base={
+            "workload": "balanced:4:3:25",
+            "processors": 6,
+            "seed": 0,
+            "base_policy": "rollback",
+        },
+        axes={
+            "policy": (
+                "rollback", "splice", "incremental",
+                "incremental:persist=hybrid", "reversible",
+            ),
+            "nemesis": (
+                "partition:start=0.3,dur=0.25,group=0-1",
+                "crash:at=0.6,node=2",
+            ),
+        },
+        columns=(
+            "makespan", "verified", "recoveries_triggered",
+            "tasks_reissued", "tasks_aborted", "results_duplicate",
+        ),
+        tags=("policy", "chaos"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="policy-compare-load",
+        title="P3: competing policies at the saturation knee",
+        description=(
+            "The competing recovery policies under open-loop Poisson "
+            "arrivals at a bounded-inbox machine (cap=4, drop-with-"
+            "notify overflow): shed packets re-route through each "
+            "policy's reissue machinery, so the policies' repair styles "
+            "show up directly in the sojourn percentiles and goodput."
+        ),
+        runner="machine",
+        base={
+            "workload": "balanced:3:2:10",
+            "processors": 4,
+            "seed": 0,
+            "arrivals": "poisson:rate=0.02,horizon=800,tasks=6,cap=4,overflow=drop",
+        },
+        axes={
+            "policy": ("rollback", "splice", "incremental", "reversible"),
+        },
+        columns=(
+            "verified", "load.completed", "load.sojourn_p50",
+            "load.sojourn_p95", "load.goodput", "load.dropped",
+            "tasks_reissued",
+        ),
+        tags=("policy", "load"),
+    )
+)
+
+register(
+    ScenarioSpec(
         name="smoke",
         title="smoke: tiny recovery sweep",
         description=(

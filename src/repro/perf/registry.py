@@ -147,6 +147,34 @@ register(
     )
 )
 
+register(
+    BenchSpec(
+        name="macro-incremental",
+        kind="macro",
+        title="three-fault storm under incremental repair",
+        description=(
+            f"The macro-rollback-storm schedule under HEAL-style online "
+            "incremental repair (default volatile persistency); exercises "
+            "the live-waiter repair scan instead of starved-task aborts."
+        ),
+        factory=_machine_factory(_STORM_TREE, "incremental", fault_fracs=_STORM_FRACS),
+    )
+)
+
+register(
+    BenchSpec(
+        name="macro-reversible",
+        kind="macro",
+        title="three-fault storm under reversible backtracking",
+        description=(
+            f"The macro-rollback-storm schedule under RCP-style reversible "
+            "recovery; adds the causal unwind of unconsumed results from "
+            "each dead node before the checkpoint replay."
+        ),
+        factory=_machine_factory(_STORM_TREE, "reversible", fault_fracs=_STORM_FRACS),
+    )
+)
+
 
 _CHAOS_NEMESIS = (
     "crash:at=0.35,node=1+chaos:drop=0.05,dup=0.1,reorder=0.2,span=40+jitter:max=25"

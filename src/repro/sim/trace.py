@@ -44,6 +44,7 @@ KINDS = (
     "result_orphan_rerouted",
     "result_relayed",
     "result_salvaged",
+    "result_unwound",
     "node_failed",
     "failure_detected",
     "recovery_reissue",

@@ -56,7 +56,20 @@ def test_synthetic_workload_specs_roundtrip(text):
 
 
 @pytest.mark.parametrize(
-    "text", ("none", "rollback", "splice", "replicated", "replicated:1", "replicated:5")
+    "text",
+    (
+        "none",
+        "rollback",
+        "splice",
+        "replicated",
+        "replicated:1",
+        "replicated:5",
+        "reversible",
+        "incremental",
+        "incremental:persist=volatile",
+        "incremental:persist=durable",
+        "incremental:persist=hybrid",
+    ),
 )
 def test_policy_specs_roundtrip(text):
     _spec_roundtrip(PolicySpec, text)

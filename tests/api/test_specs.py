@@ -128,10 +128,63 @@ class TestPolicySpec:
         with pytest.raises(SpecError, match="expected int"):
             PolicySpec.parse("replicated:many")
 
+    def test_reversible_is_a_simple_policy(self):
+        spec = PolicySpec.parse("reversible")
+        assert spec == PolicySpec("reversible")
+        assert spec.to_spec_str() == "reversible"
+        assert spec.build().name == "reversible"
+        with pytest.raises(SpecError, match="takes no parameter"):
+            PolicySpec.parse("reversible:3")
+
+    def test_incremental_with_and_without_persist(self):
+        bare = PolicySpec.parse("incremental")
+        assert bare.persist is None and bare.to_spec_str() == "incremental"
+        # bare `incremental` defers to the policy default, volatile
+        assert bare.build().persist == "volatile"
+        for mode in ("volatile", "durable", "hybrid"):
+            text = f"incremental:persist={mode}"
+            spec = PolicySpec.parse(text)
+            assert spec.persist == mode and spec.to_spec_str() == text
+            assert spec.build().persist == mode
+
+    def test_incremental_unknown_parameter_diagnostics(self):
+        with pytest.raises(SpecError) as exc_info:
+            PolicySpec.parse("incremental:durability=on")
+        err = exc_info.value
+        assert err.field == "policy.incremental"
+        assert err.value == "durability"
+        assert err.allowed == ("persist",)
+        assert err.position == len("incremental:")
+
+    def test_incremental_bad_persist_value_diagnostics(self):
+        with pytest.raises(SpecError) as exc_info:
+            PolicySpec.parse("incremental:persist=bogus")
+        err = exc_info.value
+        assert err.field == "policy.persist"
+        assert err.value == "bogus"
+        assert err.allowed == ("volatile", "durable", "hybrid")
+        assert err.position == len("incremental:persist=")
+
+    def test_unknown_policy_lists_parameterized_forms(self):
+        with pytest.raises(SpecError) as exc_info:
+            PolicySpec.parse("healing")
+        allowed = exc_info.value.allowed
+        assert "reversible" in allowed
+        assert "incremental[:persist=MODE]" in allowed
+
     def test_json_roundtrip(self):
-        for text in ("none", "splice", "replicated", "replicated:5"):
+        for text in ("none", "splice", "replicated", "replicated:5",
+                     "reversible", "incremental", "incremental:persist=hybrid"):
             spec = PolicySpec.parse(text)
             assert PolicySpec.from_json(spec.to_json()) == spec
+
+    def test_persist_json_key_only_when_set(self):
+        # pre-existing documents (and the cache keys derived from them)
+        # must stay byte-identical, so `persist` is conditional
+        assert "persist" not in PolicySpec.parse("rollback").to_json()
+        assert "persist" not in PolicySpec.parse("incremental").to_json()
+        doc = PolicySpec.parse("incremental:persist=durable").to_json()
+        assert doc["persist"] == "durable"
 
 
 class TestFaultSpec:

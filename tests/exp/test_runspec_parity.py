@@ -50,6 +50,12 @@ GOLDEN_POINT_DIGESTS = {
     "orphan-regime": "8fe09368fa2a757afc58dafef8f3fac1b1cc17c4256b8a691694a06dfe7c1ca9",
     "overhead-faultfree": "2011ec5931f50482015f1a3d501e1ae31e8784691cb5f5407e6587cff8416f36",
     "periodic-baseline": "6000514a4f0931fdd173e46898911f74314862d21753c3f3f33af769a9ba0337",
+    # The policy-compare-* digests were captured at their introduction
+    # (competing-recovery-policy subsystem) under the same procedure as
+    # the load-* batch: run serially with no cache, hash canonical points.
+    "policy-compare-chaos": "f5d84c5b35bfac363b96c5e6fcf484ef39b0110bd1f92656827b801eb465d490",
+    "policy-compare-faultfree": "356d54e5ff6bd5c17bae38ad42af3f8f5ed59a1231b31e6ffafa40a0779fa041",
+    "policy-compare-load": "7dd5f71f8fc3b393ff60335d4194de2eb4386a160d7fb05ab438762883464c44",
     "replication": "b63befaf41da358c5dd93aaea6740dbf6498021414cf164bac1a92946366eca6",
     "rollback-vs-splice": "392cfb4b3aea10da79323962b347ca3f58dbc7266a96846b975972114dcfc9df",
     "scaling-fib": "852ee7b9ac01d5c7dec06322dfde9442c5c0a66bf1e9f22ec41ab0d022163ab9",

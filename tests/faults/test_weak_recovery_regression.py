@@ -72,3 +72,57 @@ class TestOneSidedFalsePositivesViolate:
         )
         window = report.verdict("weak-recovery").window
         assert window is not None and window[0] < window[1]
+
+
+class TestCompetingPoliciesAtTheBoundary:
+    """The competing policies (docs/POLICIES.md) inherit the paper's
+    detection model, so both boundary claims carry over unchanged —
+    recovery style is orthogonal to detection quality.  What each
+    competitor *does* guarantee at the boundary is pinned here."""
+
+    def test_incremental_partition_classifies_weak_in_every_persist_mode(self):
+        for persist in ("volatile", "durable", "hybrid"):
+            handle, report = _check(
+                f"incremental:persist={persist}",
+                "partition:start=0.3,dur=0.25,group=0-1",
+            )
+            verdict = report.verdict("weak-recovery")
+            assert verdict.status == "weak", persist
+            assert "symmetric" in verdict.detail
+            assert report.ok and handle.result.correct, persist
+            # incremental repair never aborts a waiter, so the orphan
+            # oracle holds by construction, not just vacuously
+            assert report.verdict("no-orphan-commit").status == "pass"
+
+    def test_reversible_partition_classifies_weak(self):
+        handle, report = _check(
+            "reversible", "partition:start=0.3,dur=0.25,group=0-1"
+        )
+        assert report.verdict("weak-recovery").status == "weak"
+        assert report.ok and handle.result.correct
+
+    def test_incremental_never_orphans_a_commit_even_when_stranded(self):
+        handle, report = _check(
+            "incremental", "chaos:drop=0.15,notify=1,start=0.1,dur=0.6"
+        )
+        # the one-sided boundary is unchanged: the run still strands
+        assert report.verdict("weak-recovery").status == "violation"
+        assert not handle.result.completed
+        # ...but no waiter was aborted for pointing at a "dead" child,
+        # so no completed task's commit is ever orphaned
+        assert report.verdict("no-orphan-commit").status == "pass"
+
+    def test_reversible_unwind_preserves_causal_delivery(self):
+        handle, report = _check(
+            "reversible", "chaos:drop=0.15,notify=1,start=0.1,dur=0.6"
+        )
+        assert report.verdict("weak-recovery").status == "violation"
+        # the unwind actually fired on this seed...
+        unwound = [
+            r for r in handle.result.trace.records if r.kind == "result_unwound"
+        ]
+        assert unwound
+        # ...and the unwound child re-announced through the ordinary
+        # spawn/result path: a fresh result_sent precedes every
+        # replacement result_received, so causal delivery holds
+        assert report.verdict("causal-delivery").status == "pass"

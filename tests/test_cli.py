@@ -358,6 +358,25 @@ class TestExp:
             RunSpec.from_json(doc)  # must be a valid, replayable document
         assert text == canonical_dumps(payload)
 
+    def test_exp_show_json_covers_the_competing_policies(self):
+        import json
+
+        from repro.api import RunSpec
+
+        code, text = run_cli("exp", "show", "policy-compare-chaos", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        policies = {p["params"]["policy"] for p in payload["points"]}
+        assert {"incremental", "incremental:persist=hybrid", "reversible"} <= policies
+        for point in payload["points"]:
+            doc = point["runspec"]
+            spec = RunSpec.from_json(doc)  # valid, replayable document
+            assert spec.policy.to_spec_str() == point["params"]["policy"]
+            # the persist key is emitted only for the parameterized form
+            assert ("persist" in doc["policy"]) == (
+                point["params"]["policy"] == "incremental:persist=hybrid"
+            )
+
     def test_exp_show_json_non_machine_runner_has_params_only(self):
         import json
 

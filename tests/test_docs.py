@@ -34,6 +34,7 @@ DOC_FILES = [
     "docs/REPORTS.md",
     "docs/CHECK.md",
     "docs/LOAD.md",
+    "docs/POLICIES.md",
 ]
 
 EXP_REF = re.compile(r"exp (?:run|show) ([a-z0-9][a-z0-9-]*)")
@@ -181,6 +182,17 @@ LOAD_EXPORTS = {
 #: breaking changes (update here and in docs/LOAD.md deliberately).
 ARRIVAL_PROCESS_NAMES = ("poisson", "bursty", "diurnal")
 OVERFLOW_POLICY_NAMES = ("drop", "tail", "backpressure")
+
+#: The policy-spec names are API: RunSpec documents, sweep cache keys,
+#: CLI flags, and docs all match on these strings, so renames are
+#: breaking changes and must be made deliberately (here,
+#: docs/POLICIES.md, and docs/API.md).
+SIMPLE_POLICY_NAMES = ("none", "rollback", "splice", "reversible")
+PERSIST_MODE_NAMES = ("volatile", "durable", "hybrid")
+
+#: The public surface of repro.policies, pinned like repro.api: the
+#: PolicySpec builder and docs/POLICIES.md reference these names.
+POLICY_EXPORTS = {"IncrementalRecovery", "PERSIST_MODES", "ReversibleRecovery"}
 
 #: The oracle catalog names are API: ledgers, docs, and the CLI pin
 #: them as strings, so renames are breaking changes (update here and
@@ -551,6 +563,84 @@ class TestLoadReferences:
         assert "rate=" in load_doc and "horizon=" in load_doc
         assert "overflow=" in load_doc
         assert "ArrivalSpec" in load_doc
+
+
+class TestPolicyReferences:
+    def test_policies_exports_are_pinned(self):
+        import repro.policies
+
+        assert set(repro.policies.__all__) == POLICY_EXPORTS, (
+            "repro.policies exports changed; update POLICY_EXPORTS and "
+            "docs/POLICIES.md deliberately"
+        )
+        for name in POLICY_EXPORTS:
+            assert hasattr(repro.policies, name), name
+
+    def test_policy_names_are_pinned(self):
+        from repro.api import PolicySpec
+        from repro.policies import PERSIST_MODES
+
+        assert PolicySpec._SIMPLE == SIMPLE_POLICY_NAMES, (
+            "policy-spec names changed; RunSpec documents and sweep caches "
+            "match on these strings — update here and docs/POLICIES.md "
+            "deliberately"
+        )
+        assert PolicySpec._PERSIST_MODES == PERSIST_MODE_NAMES
+        assert PERSIST_MODES == PERSIST_MODE_NAMES
+
+    def test_cli_policy_help_names_every_policy(self):
+        from repro.cli import POLICIES, POLICY_HELP
+
+        assert set(POLICIES) == set(SIMPLE_POLICY_NAMES) | {
+            "incremental",
+            "replicated",
+        }
+        for name in POLICIES:
+            assert name in POLICY_HELP, f"policy {name!r} missing from --policy help"
+        assert "persist=volatile|durable|hybrid" in POLICY_HELP
+        assert "replicated[:K]" in POLICY_HELP
+
+    def test_cli_policy_flag_validates_specs(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "fib-10", "--policy", "incremental:persist=durable"]
+        )
+        assert args.policy == "incremental:persist=durable"
+        args = parser.parse_args(["check", "run", "fib-10", "--policy", "reversible"])
+        assert args.policy == "reversible"
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["run", "fib-10", "--policy", "incremental:persist=bogus"]
+            )
+
+    def test_every_policy_documented_in_policies_md(self):
+        policies_doc = read_docs()["docs/POLICIES.md"]
+        for name in SIMPLE_POLICY_NAMES + ("incremental", "replicated"):
+            assert f"`{name}" in policies_doc, (
+                f"policy {name!r} missing from docs/POLICIES.md"
+            )
+        for mode in PERSIST_MODE_NAMES:
+            assert f"`{mode}`" in policies_doc, (
+                f"persist mode {mode!r} missing from docs/POLICIES.md"
+            )
+
+    def test_policy_compare_scenarios_registered_and_documented(self):
+        registered = set(all_scenarios())
+        corpus = "\n".join(read_docs().values())
+        for name in (
+            "policy-compare-faultfree",
+            "policy-compare-chaos",
+            "policy-compare-load",
+        ):
+            assert name in registered
+            assert name in corpus, f"policy scenario {name!r} missing from docs"
+
+    def test_api_doc_grammar_names_the_new_policies(self):
+        api_doc = read_docs()["docs/API.md"]
+        assert "incremental" in api_doc
+        assert "reversible" in api_doc
 
 
 class TestReadmeDocsIndex:
