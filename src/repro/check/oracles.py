@@ -81,6 +81,30 @@ class CheckConfig:
             doc["horizon_time"] = self.horizon_time
         return doc
 
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "CheckConfig":
+        """Rebuild a config from its :meth:`to_json` document.
+
+        Corpus replays and ledger consumers round-trip configs through
+        this pair, so a search recorded under one horizon is always
+        re-judged under the same one.
+        """
+        try:
+            return cls(
+                horizon_frac=float(payload.get("horizon_frac", 3.0)),
+                horizon_time=(
+                    float(payload["horizon_time"])
+                    if payload.get("horizon_time") is not None
+                    else None
+                ),
+                oracles=tuple(str(n) for n in payload.get("oracles", ())),
+            )
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise SpecError(
+                f"malformed CheckConfig document: {exc}",
+                field="check.config", value=payload,
+            ) from None
+
 
 @dataclass(frozen=True)
 class CheckContext:
@@ -464,8 +488,14 @@ def resolve_horizon(
     return config.horizon_frac * max(base_makespan, 1.0)
 
 
-def evaluate(handle: Any, config: Optional[CheckConfig] = None) -> CheckReport:
-    """Evaluate oracles over an executed :class:`repro.api.RunHandle`."""
+def build_context(handle: Any, config: Optional[CheckConfig] = None) -> CheckContext:
+    """Freeze an executed :class:`repro.api.RunHandle` into a context.
+
+    One context serves both oracle evaluation (:func:`evaluate`) and
+    coverage-signature extraction
+    (:func:`repro.check.coverage.signature_from_context`), so the two
+    always judge the same records at the same horizon.
+    """
     config = config or CheckConfig()
     result = handle.result
     if not result.trace.enabled and result.metrics.tasks_spawned:
@@ -479,7 +509,7 @@ def evaluate(handle: Any, config: Optional[CheckConfig] = None) -> CheckReport:
         base_makespan=handle.baseline[0] if handle.baseline else result.makespan,
         open_loop=bool(getattr(handle.spec, "arrivals", None)),
     )
-    ctx = CheckContext(
+    return CheckContext(
         records=tuple(result.trace),
         completed=result.completed,
         verified=result.verified,
@@ -488,7 +518,12 @@ def evaluate(handle: Any, config: Optional[CheckConfig] = None) -> CheckReport:
         stall_reason=result.stall_reason,
         failed_nodes=tuple(result.metrics.nodes_failed),
     )
-    return evaluate_context(ctx, config)
+
+
+def evaluate(handle: Any, config: Optional[CheckConfig] = None) -> CheckReport:
+    """Evaluate oracles over an executed :class:`repro.api.RunHandle`."""
+    config = config or CheckConfig()
+    return evaluate_context(build_context(handle, config), config)
 
 
 def check_spec(

@@ -17,6 +17,9 @@
     python -m repro check list
     python -m repro check run balanced:4:2:30 --nemesis chaos:drop=0.15,notify=1
     python -m repro check search balanced:4:2:30 --seed 1 --attempts 10
+    python -m repro check search balanced:3:2:10 --strategy coverage --rounds 24 \\
+        --corpus-out results/check/corpus.json
+    python -m repro check corpus run tests/baselines/corpus
     python -m repro report run rollback-vs-splice --replications 5
     python -m repro report compare rollback-vs-splice --axis policy
     python -m repro perf run --quick
@@ -43,9 +46,12 @@ parameters and spec grammar (see ``docs/FAULTS.md``).  The ``check``
 subcommands drive the trace-oracle subsystem (:mod:`repro.check`):
 ``check list`` shows the oracle catalog, ``check run`` evaluates one
 run — or, with ``--scenario``, a whole grid — against the invariants,
-and ``check search`` hunts random nemesis schedules for violations and
-shrinks them to minimal reproducers with a deterministic ledger under
-``results/check/`` (see ``docs/CHECK.md``).  The ``report``
+``check search`` hunts nemesis schedules for violations — blind random
+draws or, with ``--strategy coverage``, feedback-driven frontier
+mutation over coverage signatures — and shrinks them to minimal
+reproducers with a deterministic ledger under ``results/check/``, and
+``check corpus run`` replays a saved reproducer corpus as a regression
+gate (see ``docs/CHECK.md``).  The ``report``
 subcommands drive the statistical reporting subsystem
 (:mod:`repro.report`): ``report run`` aggregates a (replicated) sweep
 into per-point median/IQR/bootstrap-CI summaries, ``report compare``
@@ -414,6 +420,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="max composed clauses per schedule (default: 2)",
     )
     check_search.add_argument(
+        "--strategy", choices=("random", "coverage"), default="random",
+        help="schedule generation: blind random draws (default) or "
+        "coverage-guided frontier mutation (see docs/CHECK.md)",
+    )
+    check_search.add_argument(
+        "--rounds", type=int, default=None, metavar="N",
+        help="evaluation budget for --strategy coverage "
+        "(default: --attempts)",
+    )
+    check_search.add_argument(
+        "--maximize", action="store_true",
+        help="steer coverage mutation toward the worst bounded-recovery "
+        "margin (no violation needed; reported as `worst`)",
+    )
+    check_search.add_argument(
+        "--corpus-out", default=None, metavar="PATH",
+        help="also write the shrunk reproducers as a repro-corpus/1 "
+        "document (replayable via `repro check corpus run`)",
+    )
+    check_search.add_argument(
         "--out-dir", default=None, metavar="DIR",
         help="ledger directory (default: results/check)",
     )
@@ -425,6 +451,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) unless the search ends this way — the CI gate",
     )
     _check_common(check_search)
+
+    check_corpus = check_sub.add_parser(
+        "corpus", help="replay a pinned reproducer corpus as a regression gate"
+    )
+    corpus_sub = check_corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_run = corpus_sub.add_parser(
+        "run", help="re-execute every corpus entry; fail on any regression"
+    )
+    corpus_run.add_argument(
+        "path",
+        help="a repro-corpus/1 JSON file, or a directory of them "
+        "(e.g. tests/baselines/corpus)",
+    )
+    corpus_run.add_argument(
+        "--json", action="store_true", help="emit canonical JSON"
+    )
 
     report = sub.add_parser(
         "report", help="statistical reports over (replicated) scenario sweeps"
@@ -1101,7 +1143,15 @@ def cmd_check_search(args, out) -> int:
             config=_check_config(args),
             out_dir=args.out_dir or DEFAULT_LEDGER_DIR,
             write=not args.no_write,
+            strategy=args.strategy,
+            rounds=args.rounds,
+            mode="maximize" if args.maximize else "violation",
         )
+        corpus_path = None
+        if args.corpus_out:
+            from repro.check import write_corpus
+
+            corpus_path = write_corpus(result, args.corpus_out)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -1114,6 +1164,8 @@ def cmd_check_search(args, out) -> int:
         print(result.summary(), file=out)
         if result.path:
             print(f"ledger: {result.path}", file=out)
+        if corpus_path:
+            print(f"corpus: {corpus_path}", file=out)
     if args.expect == "violation" and not result.found:
         print("expected a violation; search came back clean", file=sys.stderr)
         return 1
@@ -1121,6 +1173,22 @@ def cmd_check_search(args, out) -> int:
         print("expected a clean search; found a violation", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_check_corpus(args, out) -> int:
+    from repro.check import run_corpus
+    from repro.util.jsonio import emit_json
+
+    try:
+        report = run_corpus(args.path)
+    except (ReproError, SpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        emit_json(report.to_json(), out=out)
+    else:
+        print(report.summary(), file=out)
+    return 0 if report.ok else 1
 
 
 def cmd_report_list(out) -> int:
@@ -1341,6 +1409,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
             return cmd_check_list(out)
         if args.check_command == "run":
             return cmd_check_run(args, out)
+        if args.check_command == "corpus":
+            return cmd_check_corpus(args, out)
         return cmd_check_search(args, out)
     if args.command == "report":
         if args.report_command == "list":

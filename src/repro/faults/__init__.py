@@ -11,6 +11,7 @@ composition semantics, and ``repro faults list|describe`` on the CLI.
 
 from repro.faults.generate import (
     GENERATABLE_MODELS,
+    mutate_nemesis,
     random_clause,
     random_nemesis,
     shrink_candidates,
@@ -52,6 +53,7 @@ __all__ = [
     "ScheduledCrash",
     "all_models",
     "get_model",
+    "mutate_nemesis",
     "parse_model",
     "parse_nemesis",
     "random_clause",

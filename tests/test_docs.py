@@ -49,7 +49,7 @@ REPORT_SCENARIO_REF = re.compile(r"report (?:run|compare) ([a-z0-9][a-z0-9-]*)")
 BENCH_REF = re.compile(r"`((?:macro|micro)-[a-z0-9-]+)`")
 PERF_CLI_REF = re.compile(r"perf (list|run|compare)")
 FAULTS_CLI_REF = re.compile(r"faults (list|describe)")
-CHECK_CLI_REF = re.compile(r"check (list|run|search)")
+CHECK_CLI_REF = re.compile(r"check (list|run|search|corpus)")
 
 #: The fault-model registry names are API: scenario specs, sweep caches,
 #: and docs all reference them as strings, so renames are breaking
@@ -140,24 +140,37 @@ EXP_EXPORTS = {
 #: (here and in docs/CHECK.md).
 CHECK_EXPORTS = {
     "CHECK_SCHEMA",
+    "CORPUS_SCHEMA",
     "DEFAULT_LEDGER_DIR",
+    "MODES",
     "ORACLE_NAMES",
     "STATUSES",
+    "STRATEGIES",
     "CheckConfig",
     "CheckContext",
     "CheckReport",
+    "CorpusReport",
+    "CoverageSignature",
+    "Evaluator",
     "OracleInfo",
     "SearchResult",
     "Verdict",
     "all_oracles",
+    "build_context",
     "check_spec",
+    "corpus_doc",
     "evaluate",
     "evaluate_context",
     "ledger_path",
+    "load_corpus",
     "oracle",
+    "recovery_stats",
+    "run_corpus",
     "search",
     "select_oracles",
     "shrink",
+    "signature_from_context",
+    "write_corpus",
 }
 
 #: The public surface of repro.load, pinned like repro.api: CLI flags,
@@ -405,9 +418,9 @@ class TestCheckReferences:
         check_doc = read_docs()["docs/CHECK.md"]
         for text in (readme, check_doc):
             verbs = set(CHECK_CLI_REF.findall(text))
-            assert {"list", "run", "search"} <= verbs, (
+            assert {"list", "run", "search", "corpus"} <= verbs, (
                 "README and CHECK.md must document `check list`, "
-                "`check run`, and `check search`"
+                "`check run`, `check search`, and `check corpus`"
             )
 
     def test_check_cli_verbs_exist(self):
@@ -419,17 +432,35 @@ class TestCheckReferences:
             ["check", "run", "fib-10"],
             ["check", "run", "--scenario", "smoke"],
             ["check", "search", "fib-10", "--seed", "3", "--expect", "clean"],
+            ["check", "search", "fib-10", "--strategy", "coverage",
+             "--rounds", "8", "--maximize", "--corpus-out", "c.json"],
+            ["check", "corpus", "run", "tests/baselines/corpus"],
         ):
             args = parser.parse_args(argv)
             assert args.command == "check"
 
     def test_check_md_documents_the_ledger(self):
         check_doc = read_docs()["docs/CHECK.md"]
-        from repro.check import CHECK_SCHEMA
+        from repro.check import CHECK_SCHEMA, CORPUS_SCHEMA
 
         assert CHECK_SCHEMA in check_doc
+        assert CORPUS_SCHEMA in check_doc
         assert "results/check" in check_doc
         assert "shrink" in check_doc.lower()
+
+    def test_check_md_documents_coverage_search(self):
+        check_doc = read_docs()["docs/CHECK.md"]
+        # the coverage-search section pins the feedback signal, the
+        # strategy/budget/corpus flags, and the regression-gate verb
+        assert "CoverageSignature" in check_doc
+        for flag in ("--strategy", "--rounds", "--corpus-out", "--maximize"):
+            assert flag in check_doc, flag
+        assert "check corpus run" in check_doc
+        assert "tests/baselines/corpus" in check_doc
+        from repro.check import MODES, STRATEGIES
+
+        assert STRATEGIES == ("random", "coverage")
+        assert MODES == ("violation", "maximize")
 
     def test_faults_md_points_at_the_oracle_layer(self):
         faults_doc = read_docs()["docs/FAULTS.md"]
